@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks of the core structures: fill-unit pass
+//! throughput, trace cache lookup, predictor access, and whole-pipeline
+//! simulation speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tracefill_core::builder::{build_segments, FillInput};
+use tracefill_core::config::{ClusterConfig, FillConfig, OptConfig};
+use tracefill_core::opt;
+use tracefill_core::tcache::TraceCache;
+use tracefill_core::TraceCacheConfig;
+use tracefill_sim::{SimConfig, Simulator};
+use tracefill_uarch::pht::MultiBranchPredictor;
+
+fn retire_stream(n: usize) -> Vec<FillInput> {
+    let b = tracefill_workloads::by_name("m88k").unwrap();
+    let prog = b.program(50).unwrap();
+    let mut interp = tracefill_isa::interp::Interp::new(&prog);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let r = interp.step().unwrap();
+        if r.halt.is_some() {
+            break;
+        }
+        out.push(FillInput {
+            pc: r.pc,
+            instr: r.instr,
+            taken: r.taken,
+            promoted: None,
+            fetch_miss_head: false,
+        });
+    }
+    out
+}
+
+fn bench_fill(c: &mut Criterion) {
+    let stream = retire_stream(4096);
+    let cfg = FillConfig::default();
+    c.bench_function("fill/build_segments_4k_instrs", |b| {
+        b.iter(|| black_box(build_segments(black_box(&stream), &cfg)))
+    });
+    let segs = build_segments(&stream, &cfg);
+    c.bench_function("fill/optimize_all_passes", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for seg in &segs {
+                let mut s = seg.clone();
+                let counts = opt::apply_all(&mut s, &OptConfig::all(), &ClusterConfig::default());
+                total += counts.transformed_instrs();
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_tcache(c: &mut Criterion) {
+    let stream = retire_stream(4096);
+    let segs = build_segments(&stream, &FillConfig::default());
+    let mut tc = TraceCache::new(TraceCacheConfig::default());
+    let pcs: Vec<u32> = segs.iter().map(|s| s.start_pc).collect();
+    for seg in segs {
+        tc.insert(std::sync::Arc::new(seg));
+    }
+    c.bench_function("tcache/lookup", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % pcs.len();
+            black_box(tc.lookup(pcs[i], &[true, false, true]))
+        })
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut p = MultiBranchPredictor::default();
+    c.bench_function("predictor/predict_update", |b| {
+        let mut pc = 0x40_0000u32;
+        b.iter(|| {
+            pc = pc.wrapping_add(4);
+            let pr = p.predict(pc, 0);
+            p.update(pr, pc & 8 == 0);
+            black_box(pr)
+        })
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let b = tracefill_workloads::by_name("ijpeg").unwrap();
+    let prog = b.program(10_000).unwrap();
+    c.bench_function("pipeline/10k_instrs_all_opts", |bch| {
+        bch.iter_with_setup(
+            || Simulator::new(&prog, SimConfig::with_opts(OptConfig::all())),
+            |mut sim| {
+                sim.run_instrs(10_000).unwrap();
+                black_box(sim.stats().retired)
+            },
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fill, bench_tcache, bench_predictor, bench_pipeline
+);
+criterion_main!(benches);

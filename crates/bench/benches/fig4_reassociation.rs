@@ -1,0 +1,21 @@
+//! Regenerates Figure 4: IPC improvement of fill-unit reassociation.
+//! The paper: ~1-2% for ten of fifteen benchmarks, +23% for m88ksim and
+//! chess, +6% ijpeg, +8% ghostscript.
+
+use tracefill_bench::improvement_table;
+use tracefill_core::config::OptConfig;
+
+fn main() {
+    improvement_table(
+        "Figure 4: reassociation",
+        OptConfig::only_reassoc(),
+        &|b| {
+            Some(match b.name {
+                "m88k" | "ch" => 23.0,
+                "ijpeg" => 6.0,
+                "gs" => 8.0,
+                _ => 1.5,
+            })
+        },
+    );
+}

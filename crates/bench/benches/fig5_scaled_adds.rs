@@ -1,0 +1,19 @@
+//! Regenerates Figure 5: IPC improvement of scaled-add creation.
+//! The paper: +1% (li, vortex, pgp, gnuplot) to +8% (go, tex), mean +3.7%.
+
+use tracefill_bench::improvement_table;
+use tracefill_core::config::OptConfig;
+
+fn main() {
+    improvement_table(
+        "Figure 5: scaled adds (paper mean +3.7%)",
+        OptConfig::only_scadd(),
+        &|b| {
+            Some(match b.name {
+                "go" | "tex" => 8.0,
+                "li" | "vor" | "pgp" | "plot" => 1.0,
+                _ => 3.7,
+            })
+        },
+    );
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 6: IPC improvement of fill-unit instruction
+//! placement. The paper: mean +5%, max ijpeg +11%, min tex +1%.
+
+use tracefill_bench::improvement_table;
+use tracefill_core::config::OptConfig;
+
+fn main() {
+    improvement_table(
+        "Figure 6: instruction placement (paper mean +5%)",
+        OptConfig::only_placement(),
+        &|b| {
+            Some(match b.name {
+                "ijpeg" => 11.0,
+                "tex" => 1.0,
+                _ => 5.0,
+            })
+        },
+    );
+}

@@ -1,0 +1,36 @@
+//! Regenerates Table 1: the benchmark suite, with the paper's instruction
+//! counts and input sets alongside our kernels' realized properties.
+
+fn main() {
+    println!("=== Table 1: benchmarks ===");
+    let desc = "description";
+    println!(
+        "{:8} {:>10} {:>12}   {:>12} {desc}",
+        "bench", "paper inst", "paper input", "kernel i/s"
+    );
+    for b in tracefill_workloads::suite() {
+        println!(
+            "{:8} {:>10} {:>12.12}   {:>12} {}",
+            b.name, b.paper_icount, b.paper_input, b.instrs_per_scale, b.description
+        );
+    }
+    println!("\nRealized dynamic mix (fill-unit view, 60k instructions each):");
+    println!(
+        "{:8} {:>7} {:>8} {:>7} {:>7} {:>7} {:>7}",
+        "bench", "moves%", "reassoc%", "scadd%", "branch%", "load%", "store%"
+    );
+    for b in tracefill_workloads::suite() {
+        let prog = b.program(b.scale_for(80_000)).unwrap();
+        let c = tracefill_workloads::characterize(&prog, 60_000);
+        println!(
+            "{:8} {:7.1} {:8.1} {:7.1} {:7.1} {:7.1} {:7.1}",
+            b.name,
+            c.moves * 100.0,
+            c.reassoc * 100.0,
+            c.scadd * 100.0,
+            c.branches * 100.0,
+            c.loads * 100.0,
+            c.stores * 100.0
+        );
+    }
+}

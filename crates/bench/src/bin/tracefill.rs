@@ -1,0 +1,205 @@
+//! `tracefill` — command-line driver for the simulator.
+//!
+//! ```text
+//! tracefill run <file.s> [--opts all|none|moves,reassoc,scadd,placement,cse]
+//!                        [--input 1,2,3] [--max-cycles N] [--json]
+//!                        [--trace N]   # print the last N pipeline events
+//! tracefill interp <file.s> [--input 1,2,3]
+//! tracefill characterize <file.s>
+//! tracefill suite [--opts SPEC] [--budget N]
+//! ```
+
+use std::process::exit;
+use tracefill_core::config::OptConfig;
+use tracefill_isa::asm::assemble;
+use tracefill_isa::interp::Interp;
+use tracefill_isa::syscall::IoCtx;
+use tracefill_isa::Program;
+use tracefill_sim::{SimConfig, Simulator};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:
+  tracefill run <file.s> [--opts SPEC] [--input a,b,c] [--max-cycles N] [--json] [--trace N]
+  tracefill interp <file.s> [--input a,b,c]
+  tracefill characterize <file.s>
+  tracefill suite [--opts SPEC] [--budget N]
+
+SPEC is `all`, `none`, or a comma list of: moves reassoc scadd placement cse"
+    );
+    exit(2);
+}
+
+fn parse_opts(spec: &str) -> OptConfig {
+    match spec {
+        "all" => return OptConfig::all(),
+        "none" => return OptConfig::none(),
+        _ => {}
+    }
+    let mut o = OptConfig::none();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        match part {
+            "moves" => o.moves = true,
+            "reassoc" => o.reassoc = true,
+            "scadd" => o.scadd = true,
+            "placement" | "place" => o.placement = true,
+            "cse" => o.cse = true,
+            other => {
+                eprintln!("unknown optimization `{other}`");
+                usage();
+            }
+        }
+    }
+    o
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn load(path: &str) -> Program {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    assemble(&src).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        exit(1);
+    })
+}
+
+fn parse_input(args: &[String]) -> IoCtx {
+    match flag_value(args, "--input") {
+        Some(list) => IoCtx::with_input(
+            list.split(',')
+                .filter(|p| !p.is_empty())
+                .map(|p| p.parse().unwrap_or_else(|_| {
+                    eprintln!("bad input value `{p}`");
+                    exit(2);
+                })),
+        ),
+        None => IoCtx::default(),
+    }
+}
+
+fn cmd_run(args: &[String]) {
+    let Some(path) = args.first() else { usage() };
+    let prog = load(path);
+    let opts = parse_opts(&flag_value(args, "--opts").unwrap_or_else(|| "all".into()));
+    let max_cycles: u64 = flag_value(args, "--max-cycles")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000_000);
+    let json = args.iter().any(|a| a == "--json");
+    let trace_depth: usize = flag_value(args, "--trace")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+
+    let cfg = SimConfig {
+        trace_depth,
+        ..SimConfig::with_opts(opts)
+    };
+    let mut sim = Simulator::with_io(&prog, cfg, parse_input(args));
+    let exit_state = sim.run(max_cycles).unwrap_or_else(|e| {
+        eprintln!("simulation error: {e}");
+        exit(1);
+    });
+    let report = sim.report();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report).unwrap());
+        return;
+    }
+    let s = report.stats;
+    println!("exit        : {exit_state:?}");
+    println!("output      : {:?}", sim.io().output);
+    println!("cycles      : {}", s.cycles);
+    println!("retired     : {}", s.retired);
+    println!("IPC         : {:.3}", s.ipc());
+    println!("from TC     : {:.1}%", s.tc_fraction() * 100.0);
+    println!("TC hit rate : {:.1}%", report.tcache.hit_rate() * 100.0);
+    println!("mispredict  : {:.2}%", s.mispredict_rate() * 100.0);
+    println!(
+        "transformed : {:.1}% (moves {} / reassoc {} / scadd {})",
+        s.transformed_fraction() * 100.0,
+        s.retired_moves,
+        s.retired_reassoc,
+        s.retired_scadd
+    );
+    println!(
+        "bypass-delayed: {:.1}% of FU-executed instructions",
+        s.bypass_delay_fraction() * 100.0
+    );
+    if trace_depth > 0 {
+        println!("--- last {} pipeline events ---", sim.trace().len());
+        print!("{}", sim.trace().render());
+    }
+}
+
+fn cmd_interp(args: &[String]) {
+    let Some(path) = args.first() else { usage() };
+    let prog = load(path);
+    let mut i = Interp::with_io(&prog, parse_input(args));
+    match i.run(2_000_000_000) {
+        Ok(h) => {
+            println!("halt   : {h:?}");
+            println!("instrs : {}", i.icount());
+            println!("output : {:?}", i.io().output);
+        }
+        Err(e) => {
+            eprintln!("fault: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_characterize(args: &[String]) {
+    let Some(path) = args.first() else { usage() };
+    let prog = load(path);
+    let c = tracefill_workloads::characterize(&prog, 1_000_000);
+    println!("instructions measured : {}", c.instrs);
+    println!("register-move idioms  : {:5.2}%", c.moves * 100.0);
+    println!("reassociable chains   : {:5.2}%", c.reassoc * 100.0);
+    println!("scaled-add pairs      : {:5.2}%", c.scadd * 100.0);
+    println!("total transformable   : {:5.2}%", c.total() * 100.0);
+    println!("conditional branches  : {:5.2}%", c.branches * 100.0);
+    println!("loads / stores        : {:5.2}% / {:.2}%", c.loads * 100.0, c.stores * 100.0);
+}
+
+fn cmd_suite(args: &[String]) {
+    let opts = parse_opts(&flag_value(args, "--opts").unwrap_or_else(|| "all".into()));
+    let budget: u64 = flag_value(args, "--budget")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    println!("{:6} {:>9} {:>9} {:>8}", "bench", "base IPC", "opt IPC", "delta");
+    for b in tracefill_workloads::suite() {
+        let prog = b.program(b.scale_for(3 * budget)).unwrap();
+        let measure = |o: OptConfig| {
+            let mut sim = Simulator::new(&prog, SimConfig::with_opts(o));
+            sim.run_instrs(budget).unwrap();
+            let (c0, r0) = (sim.cycle(), sim.stats().retired);
+            sim.run_instrs(budget).unwrap();
+            (sim.stats().retired - r0) as f64 / (sim.cycle() - c0) as f64
+        };
+        let base = measure(OptConfig::none());
+        let opt = measure(opts);
+        println!(
+            "{:6} {:9.3} {:9.3} {:+7.1}%",
+            b.name,
+            base,
+            opt,
+            (opt / base - 1.0) * 100.0
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("interp") => cmd_interp(&args[1..]),
+        Some("characterize") => cmd_characterize(&args[1..]),
+        Some("suite") => cmd_suite(&args[1..]),
+        _ => usage(),
+    }
+}

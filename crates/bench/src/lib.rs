@@ -1,0 +1,115 @@
+//! # tracefill-bench
+//!
+//! Shared harness code for regenerating every table and figure of the
+//! paper's evaluation. Each `cargo bench` target prints the same rows or
+//! series the paper reports, side by side with the paper's numbers:
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1_suite` | Table 1 — the benchmark suite |
+//! | `fig3_register_moves` | Figure 3 — IPC gain of register-move handling |
+//! | `fig4_reassociation` | Figure 4 — IPC gain of reassociation |
+//! | `fig5_scaled_adds` | Figure 5 — IPC gain of scaled adds |
+//! | `fig6_placement` | Figure 6 — IPC gain of instruction placement |
+//! | `fig7_bypass_delay` | Figure 7 — % instructions delayed by bypass |
+//! | `fig8_combined` | Figure 8 — combined gain at fill latency 1/5/10 |
+//! | `table2_coverage` | Table 2 — % of instructions transformed |
+//! | `ablations` | beyond-paper design-choice sweeps |
+//! | `components` | Criterion micro-benchmarks of the core structures |
+//!
+//! Instruction budgets are environment-tunable: `TRACEFILL_BUDGET` (measured
+//! window, default 150 000 retired instructions per run) and
+//! `TRACEFILL_WARMUP` (default 150 000 — trace-cache, bias-table and
+//! predictor state need a long run-in before the steady state is
+//! representative).
+
+#![warn(missing_docs)]
+
+use tracefill_core::config::OptConfig;
+use tracefill_sim::{SimConfig, Simulator, Stats};
+use tracefill_workloads::Benchmark;
+
+/// Measured window per run, in retired instructions.
+pub fn budget() -> u64 {
+    std::env::var("TRACEFILL_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150_000)
+}
+
+/// Warmup run-in before the measured window.
+pub fn warmup() -> u64 {
+    std::env::var("TRACEFILL_WARMUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150_000)
+}
+
+/// Result of one measured simulation window.
+#[derive(Debug, Clone, Copy)]
+pub struct RunResult {
+    /// IPC over the measured window.
+    pub ipc: f64,
+    /// Full cumulative statistics at the end of the run.
+    pub stats: Stats,
+}
+
+/// Runs `bench` under `cfg` for the standard warmup + budget window.
+///
+/// # Panics
+///
+/// Panics on simulator errors — the oracle lockstep check is enabled, so a
+/// completed run is an architecturally verified run.
+pub fn run_with(bench: &Benchmark, cfg: SimConfig) -> RunResult {
+    let total = warmup() + budget();
+    let prog = bench
+        .program(bench.scale_for(total * 2))
+        .expect("kernel assembles");
+    let mut sim = Simulator::new(&prog, cfg);
+    sim.run_instrs(warmup())
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+    let (c0, r0) = (sim.cycle(), sim.stats().retired);
+    sim.run_instrs(budget())
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+    let ipc = (sim.stats().retired - r0) as f64 / (sim.cycle() - c0).max(1) as f64;
+    RunResult {
+        ipc,
+        stats: sim.stats(),
+    }
+}
+
+/// Runs `bench` with a given optimization set on the paper's machine.
+pub fn run_opts(bench: &Benchmark, opts: OptConfig) -> RunResult {
+    run_with(bench, SimConfig::with_opts(opts))
+}
+
+/// Prints the standard per-benchmark improvement table for one
+/// optimization, with the paper's reported improvement alongside.
+pub fn improvement_table(
+    title: &str,
+    opts: OptConfig,
+    paper: &dyn Fn(&Benchmark) -> Option<f64>,
+) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:6} {:>9} {:>9} {:>8} {:>10}",
+        "bench", "base IPC", "opt IPC", "ours", "paper"
+    );
+    let mut ours_sum = 0.0;
+    let mut n = 0.0;
+    for b in tracefill_workloads::suite() {
+        let base = run_opts(&b, OptConfig::none());
+        let opt = run_opts(&b, opts);
+        let imp = (opt.ipc / base.ipc - 1.0) * 100.0;
+        let paper_s = paper(&b)
+            .map(|p| format!("{p:+.1}%"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:6} {:9.3} {:9.3} {:+7.1}% {:>10}",
+            b.name, base.ipc, opt.ipc, imp, paper_s
+        );
+        ours_sum += imp;
+        n += 1.0;
+    }
+    println!("{:6} {:>9} {:>9} {:+7.1}%", "mean", "", "", ours_sum / n);
+}

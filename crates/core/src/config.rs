@@ -1,0 +1,235 @@
+//! Configuration of the fill unit, trace cache and optimization passes.
+
+use serde::{Deserialize, Serialize};
+
+/// Which dynamic trace optimizations the fill unit applies, plus their
+/// parameters (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptConfig {
+    /// §4.2: mark register-to-register moves for execution in rename.
+    pub moves: bool,
+    /// §4.3: combine immediates of dependent immediate instructions.
+    pub reassoc: bool,
+    /// Restrict reassociation to pairs that cross a control-flow boundary
+    /// (the paper enforces this to isolate the fill unit's contribution
+    /// from what the compiler already did inside basic blocks).
+    pub reassoc_cross_block_only: bool,
+    /// §4.4: collapse short immediate shifts into dependent adds and
+    /// memory-address computations.
+    pub scadd: bool,
+    /// Largest shift distance a scaled add may absorb (the paper limits
+    /// this to 3 bits to bound the extra ALU path length).
+    pub scadd_max_shift: u8,
+    /// §4.5: reorder instructions within the line to keep dependency
+    /// chains inside one execution cluster.
+    pub placement: bool,
+    /// Extension (paper §5, future work): common subexpression
+    /// elimination within the segment. Off by default — it is not one of
+    /// the paper's four evaluated optimizations.
+    pub cse: bool,
+}
+
+impl OptConfig {
+    /// Every optimization off — the baseline configuration.
+    pub fn none() -> OptConfig {
+        OptConfig {
+            moves: false,
+            reassoc: false,
+            reassoc_cross_block_only: true,
+            scadd: false,
+            scadd_max_shift: 3,
+            placement: false,
+            cse: false,
+        }
+    }
+
+    /// Every optimization on with the paper's parameters.
+    pub fn all() -> OptConfig {
+        OptConfig {
+            moves: true,
+            reassoc: true,
+            reassoc_cross_block_only: true,
+            scadd: true,
+            scadd_max_shift: 3,
+            placement: true,
+            cse: false,
+        }
+    }
+
+    /// Baseline plus only register-move marking (Figure 3).
+    pub fn only_moves() -> OptConfig {
+        OptConfig {
+            moves: true,
+            ..OptConfig::none()
+        }
+    }
+
+    /// Baseline plus only reassociation (Figure 4).
+    pub fn only_reassoc() -> OptConfig {
+        OptConfig {
+            reassoc: true,
+            ..OptConfig::none()
+        }
+    }
+
+    /// Baseline plus only scaled adds (Figure 5).
+    pub fn only_scadd() -> OptConfig {
+        OptConfig {
+            scadd: true,
+            ..OptConfig::none()
+        }
+    }
+
+    /// Baseline plus only instruction placement (Figure 6).
+    pub fn only_placement() -> OptConfig {
+        OptConfig {
+            placement: true,
+            ..OptConfig::none()
+        }
+    }
+}
+
+impl Default for OptConfig {
+    /// Defaults to [`OptConfig::none`] (the baseline machine).
+    fn default() -> OptConfig {
+        OptConfig::none()
+    }
+}
+
+/// Geometry of the execution clusters, needed by the placement pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of symmetric clusters (the paper: 4).
+    pub clusters: u8,
+    /// Functional units (= issue slots) per cluster (the paper: 4).
+    pub width: u8,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            clusters: 4,
+            width: 4,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Total issue slots per cycle.
+    pub fn total_slots(&self) -> usize {
+        self.clusters as usize * self.width as usize
+    }
+
+    /// The cluster an issue slot belongs to (slots `0..width` are cluster
+    /// 0, the next `width` cluster 1, …).
+    pub fn cluster_of(&self, issue_slot: u8) -> u8 {
+        issue_slot / self.width
+    }
+}
+
+/// Configuration of the fill unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FillConfig {
+    /// Maximum instructions per trace segment (the paper: 16).
+    pub max_slots: usize,
+    /// Maximum conditional branches per segment (the paper: 3).
+    pub max_cond_branches: usize,
+    /// Latency, in cycles, between segment finalization and trace cache
+    /// write (the paper evaluates 1, 5 and 10 and finds the impact
+    /// negligible).
+    pub latency: u32,
+    /// Trace packing: keep filling past block boundaries until the segment
+    /// is full (the paper's baseline has this on).
+    pub packing: bool,
+    /// Branch promotion via the bias table (the paper's baseline: on).
+    pub promotion: bool,
+    /// Loop-aligned fill: finalize the pending segment when the retire
+    /// stream wraps back to the segment's own start address. Keeps hot
+    /// loop segments starting at stable addresses (whole iterations per
+    /// line) instead of letting segment boundaries rotate through the
+    /// loop body and thrash the trace cache.
+    pub align_loops: bool,
+    /// The optimization passes.
+    pub opts: OptConfig,
+    /// Cluster geometry used by the placement pass.
+    pub clusters: ClusterConfig,
+}
+
+impl Default for FillConfig {
+    fn default() -> FillConfig {
+        FillConfig {
+            max_slots: 16,
+            max_cond_branches: 3,
+            latency: 1,
+            packing: true,
+            promotion: true,
+            align_loops: true,
+            opts: OptConfig::none(),
+            clusters: ClusterConfig::default(),
+        }
+    }
+}
+
+/// Configuration of the trace cache proper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceCacheConfig {
+    /// Total line entries (the paper: 2048, ≈156 KB of storage).
+    pub entries: u32,
+    /// Associativity (the paper: 4).
+    pub ways: u32,
+}
+
+impl Default for TraceCacheConfig {
+    fn default() -> TraceCacheConfig {
+        TraceCacheConfig {
+            entries: 2048,
+            ways: 4,
+        }
+    }
+}
+
+impl TraceCacheConfig {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not divisible by `ways` into a power of two.
+    pub fn sets(&self) -> u32 {
+        assert_eq!(self.entries % self.ways, 0);
+        let sets = self.entries / self.ways;
+        assert!(sets.is_power_of_two());
+        sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let f = FillConfig::default();
+        assert_eq!(f.max_slots, 16);
+        assert_eq!(f.max_cond_branches, 3);
+        assert!(f.packing && f.promotion);
+        assert_eq!(TraceCacheConfig::default().sets(), 512);
+        assert_eq!(ClusterConfig::default().total_slots(), 16);
+    }
+
+    #[test]
+    fn cluster_mapping() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.cluster_of(0), 0);
+        assert_eq!(c.cluster_of(3), 0);
+        assert_eq!(c.cluster_of(4), 1);
+        assert_eq!(c.cluster_of(15), 3);
+    }
+
+    #[test]
+    fn single_opt_constructors() {
+        assert!(OptConfig::only_moves().moves);
+        assert!(!OptConfig::only_moves().scadd);
+        assert!(OptConfig::all().placement);
+        assert_eq!(OptConfig::default(), OptConfig::none());
+    }
+}

@@ -1,0 +1,231 @@
+//! The fill unit: segment collection, optimization and the fill pipeline.
+//!
+//! The fill unit sits off the critical path (figure 1 of the paper): it
+//! watches the retire stream, builds trace segments, applies the enabled
+//! dynamic optimizations and — after a configurable fill-pipeline latency —
+//! hands finished segments to the trace cache. Because it only consumes
+//! *retired* (correct-path) instructions, its view of the program is always
+//! architecturally continuous, even across mispredictions.
+
+use crate::builder::{FillInput, SegmentBuilder};
+use crate::config::FillConfig;
+use crate::opt::{self, OptCounts};
+use crate::segment::{SegEnd, Segment};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Running statistics of the fill unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FillStats {
+    /// Segments finalized.
+    pub segments: u64,
+    /// Instruction slots across all finalized segments.
+    pub slots: u64,
+    /// Transformations applied, by kind.
+    pub opts: OptCounts,
+}
+
+impl FillStats {
+    /// Mean instructions per finalized segment.
+    pub fn mean_segment_len(&self) -> f64 {
+        if self.segments == 0 {
+            0.0
+        } else {
+            self.slots as f64 / self.segments as f64
+        }
+    }
+}
+
+/// The fill unit.
+///
+/// # Examples
+///
+/// ```
+/// use tracefill_core::fill::FillUnit;
+/// use tracefill_core::builder::FillInput;
+/// use tracefill_core::config::FillConfig;
+/// use tracefill_isa::{Instr, Op, ArchReg};
+///
+/// let mut fu = FillUnit::new(FillConfig { latency: 3, ..FillConfig::default() });
+/// // Retire a serializing instruction: terminates a 1-slot segment.
+/// fu.retire(FillInput {
+///     pc: 0x40_0000,
+///     instr: Instr { op: Op::Syscall, rd: ArchReg::ZERO, rs: ArchReg::ZERO,
+///                    rt: ArchReg::ZERO, imm: 0 },
+///     taken: None,
+///     promoted: None,
+///     fetch_miss_head: false,
+/// }, 100);
+/// assert!(fu.drain_ready(102).is_empty());     // still in the fill pipe
+/// assert_eq!(fu.drain_ready(103).len(), 1);    // latency elapsed
+/// ```
+#[derive(Debug)]
+pub struct FillUnit {
+    config: FillConfig,
+    builder: SegmentBuilder,
+    /// Segments traversing the fill pipeline: `(ready_cycle, segment)`.
+    pipe: VecDeque<(u64, Arc<Segment>)>,
+    stats: FillStats,
+}
+
+impl FillUnit {
+    /// Creates a fill unit with an empty pipeline.
+    pub fn new(config: FillConfig) -> FillUnit {
+        FillUnit {
+            config,
+            builder: SegmentBuilder::new(),
+            pipe: VecDeque::new(),
+            stats: FillStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FillConfig {
+        &self.config
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> FillStats {
+        self.stats
+    }
+
+    /// Offers one retired instruction at cycle `now`.
+    pub fn retire(&mut self, input: FillInput, now: u64) {
+        // Fetch-aligned fill: this address is one the fetch engine looked
+        // up and missed; start the next segment exactly here so the fill
+        // converges onto the fetch-address chain.
+        if input.fetch_miss_head && !self.builder.is_empty() {
+            self.finalize(SegEnd::FetchAligned, now);
+        }
+        if !self.builder.can_accept(&input, &self.config) {
+            let end = if self.builder.len() >= self.config.max_slots {
+                SegEnd::Full
+            } else if self.config.align_loops && self.builder.start_pc() == Some(input.pc) {
+                SegEnd::Loop
+            } else {
+                SegEnd::BranchLimit
+            };
+            self.finalize(end, now);
+        }
+        self.builder.push(input);
+        if let Some(end) = self.builder.must_terminate_after(&input, &self.config) {
+            self.finalize(end, now);
+        }
+    }
+
+    fn finalize(&mut self, end: SegEnd, now: u64) {
+        let Some(mut seg) = self.builder.finalize(end) else {
+            return;
+        };
+        let counts = opt::apply_all(&mut seg, &self.config.opts, &self.config.clusters);
+        self.stats.segments += 1;
+        self.stats.slots += seg.slots.len() as u64;
+        self.stats.opts.add(counts);
+        self.pipe
+            .push_back((now + self.config.latency as u64, Arc::new(seg)));
+    }
+
+    /// Removes and returns every segment whose fill latency has elapsed by
+    /// cycle `now`, in completion order.
+    pub fn drain_ready(&mut self, now: u64) -> Vec<Arc<Segment>> {
+        let mut out = Vec::new();
+        while let Some((ready, _)) = self.pipe.front() {
+            if *ready <= now {
+                out.push(self.pipe.pop_front().unwrap().1);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Number of segments currently traversing the fill pipeline.
+    pub fn in_flight(&self) -> usize {
+        self.pipe.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OptConfig;
+    use tracefill_isa::{ArchReg, Instr, Op};
+
+    fn r(n: u8) -> ArchReg {
+        ArchReg::gpr(n)
+    }
+
+    fn addi(d: u8, s: u8, imm: i32) -> Instr {
+        Instr::alu_imm(Op::Addi, r(d), r(s), imm)
+    }
+
+    fn feed(fu: &mut FillUnit, pc: u32, instr: Instr, now: u64) {
+        fu.retire(
+            FillInput {
+                pc,
+                instr,
+                taken: instr.op.is_cond_branch().then_some(false),
+                promoted: None,
+                fetch_miss_head: false,
+            },
+            now,
+        );
+    }
+
+    #[test]
+    fn latency_orders_delivery() {
+        let mut fu = FillUnit::new(FillConfig {
+            latency: 10,
+            ..FillConfig::default()
+        });
+        // 32 adds -> two full 16-slot segments, finalized at the cycle of
+        // their 16th retire.
+        for i in 0..32u32 {
+            feed(&mut fu, 0x1000 + 4 * i, addi(8, 8, 1), i as u64);
+        }
+        assert_eq!(fu.in_flight(), 2);
+        assert!(fu.drain_ready(24).is_empty());
+        assert_eq!(fu.drain_ready(25).len(), 1); // finalized at 15, ready at 25
+        assert_eq!(fu.drain_ready(41).len(), 1); // finalized at 31, ready at 41
+    }
+
+    #[test]
+    fn stats_count_transformations() {
+        let mut fu = FillUnit::new(FillConfig {
+            opts: OptConfig::all(),
+            latency: 0,
+            ..FillConfig::default()
+        });
+        // A move plus a dependent instruction, then a serializer.
+        feed(&mut fu, 0x1000, addi(8, 9, 0), 0); // move idiom
+        feed(&mut fu, 0x1004, addi(10, 8, 4), 1);
+        feed(
+            &mut fu,
+            0x1008,
+            Instr {
+                op: Op::Syscall,
+                rd: r(0),
+                rs: r(0),
+                rt: r(0),
+                imm: 0,
+            },
+            2,
+        );
+        let st = fu.stats();
+        assert_eq!(st.segments, 1);
+        assert_eq!(st.slots, 3);
+        assert_eq!(st.opts.moves, 1);
+        assert!((st.mean_segment_len() - 3.0).abs() < 1e-12);
+        let segs = fu.drain_ready(2);
+        assert_eq!(segs.len(), 1);
+        assert!(segs[0].slots[0].is_move);
+    }
+
+    #[test]
+    fn partial_segments_stay_pending() {
+        let mut fu = FillUnit::new(FillConfig::default());
+        feed(&mut fu, 0x1000, addi(8, 8, 1), 0);
+        assert_eq!(fu.in_flight(), 0);
+        assert!(fu.drain_ready(1000).is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! Extension (paper §5, future work) — common subexpression elimination.
+//!
+//! The paper's conclusion names CSE as a candidate for more aggressive
+//! fill-unit optimization. Within a trace segment it reduces to the
+//! machinery register-move marking already provides: when two slots
+//! compute the *same pure operation over the same dataflow sources*, the
+//! later one is marked move-like with the earlier slot as its source —
+//! rename then completes it by aliasing physical registers, and it never
+//! visits a functional unit.
+//!
+//! Because dependencies are explicit [`SrcRef`]s, "same sources" is exact
+//! value equality: `LiveIn(r)` is the architectural value at segment entry
+//! and `Internal(p)` is slot `p`'s output, so two slots with equal
+//! `(op, srcs, imm, scadd)` provably compute equal values. Only pure
+//! ALU/shift/multiply/divide operations participate; loads are excluded
+//! (an intervening store could change their value) as are instructions a
+//! previous pass already rewrote into moves.
+//!
+//! This pass is **off by default** ([`OptConfig::cse`]): it is an
+//! extension beyond the paper's four optimizations, evaluated separately
+//! in the `ablations` bench target.
+//!
+//! [`OptConfig::cse`]: crate::config::OptConfig::cse
+
+use crate::segment::{Segment, SrcRef};
+use tracefill_isa::op::OpKind;
+
+/// A pure computation's identity within the segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ExprKey {
+    op: tracefill_isa::Op,
+    srcs: [Option<SrcRef>; 2],
+    imm: i32,
+    scadd: Option<(u8, u8)>,
+}
+
+/// Applies common subexpression elimination; returns the number of
+/// duplicate computations converted to rename-time aliases.
+pub fn apply(seg: &mut Segment) -> u64 {
+    use std::collections::HashMap;
+    let mut first: HashMap<ExprKey, u8> = HashMap::new();
+    let mut eliminated = 0;
+
+    for i in 0..seg.slots.len() {
+        let slot = &seg.slots[i];
+        if slot.is_move || slot.dest.is_none() {
+            continue;
+        }
+        let pure = matches!(
+            slot.op.kind(),
+            OpKind::IntAlu | OpKind::Shift | OpKind::Mul | OpKind::Div
+        );
+        if !pure {
+            continue;
+        }
+        let key = ExprKey {
+            op: slot.op,
+            srcs: slot.srcs,
+            imm: slot.imm,
+            scadd: slot.scadd.map(|s| (s.shift, s.src)),
+        };
+        match first.get(&key) {
+            Some(&p) => {
+                // Duplicate: alias it to the first computation.
+                let loc = SrcRef::Internal(p);
+                let slot = &mut seg.slots[i];
+                slot.is_move = true;
+                slot.move_src = Some(loc);
+                eliminated += 1;
+                // Re-point later consumers directly at the original, so
+                // they lose no rename cycle (same rule as §4.2 moves).
+                for j in (i + 1)..seg.slots.len() {
+                    for k in 0..2 {
+                        if seg.slots[j].srcs[k] == Some(SrcRef::Internal(i as u8)) {
+                            seg.slots[j].srcs[k] = Some(loc);
+                        }
+                    }
+                }
+            }
+            None => {
+                first.insert(key, i as u8);
+            }
+        }
+    }
+    eliminated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_segments, FillInput};
+    use crate::config::FillConfig;
+    use crate::opt::verify;
+    use tracefill_isa::{ArchReg, Instr, Op};
+
+    fn r(n: u8) -> ArchReg {
+        ArchReg::gpr(n)
+    }
+
+    fn seg_of(instrs: Vec<Instr>) -> Segment {
+        let inputs: Vec<FillInput> = instrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, instr)| FillInput {
+                pc: 0x1000 + 4 * i as u32,
+                instr,
+                taken: instr.op.is_cond_branch().then_some(false),
+                promoted: None,
+                fetch_miss_head: false,
+            })
+            .collect();
+        build_segments(&inputs, &FillConfig::default()).pop().unwrap()
+    }
+
+    #[test]
+    fn duplicate_address_computation_is_eliminated() {
+        let mut seg = seg_of(vec![
+            Instr::alu(Op::Add, r(8), r(16), r(17)),  // t0 = s0 + s1
+            Instr::load(Op::Lw, r(9), r(8), 0),
+            Instr::alu(Op::Add, r(10), r(16), r(17)), // t2 = s0 + s1 (dup)
+            Instr::store(Op::Sw, r(9), r(10), 4),
+        ]);
+        assert_eq!(apply(&mut seg), 1);
+        assert!(seg.slots[2].is_move);
+        assert_eq!(seg.slots[2].move_src, Some(SrcRef::Internal(0)));
+        // The store's base now points straight at the original add.
+        assert_eq!(seg.slots[3].srcs[0], Some(SrcRef::Internal(0)));
+        seg.check_invariants().unwrap();
+        verify::equivalent(&seg, 5).unwrap();
+    }
+
+    #[test]
+    fn same_registers_different_values_are_not_merged() {
+        // The second add reads a *redefined* t1; its srcs differ, so it
+        // must not merge with the first.
+        let mut seg = seg_of(vec![
+            Instr::alu(Op::Add, r(8), r(16), r(17)),
+            Instr::alu_imm(Op::Addi, r(17), r(17), 1),
+            Instr::alu(Op::Add, r(10), r(16), r(17)),
+        ]);
+        assert_eq!(apply(&mut seg), 0);
+        verify::equivalent(&seg, 6).unwrap();
+    }
+
+    #[test]
+    fn loads_never_merge() {
+        let mut seg = seg_of(vec![
+            Instr::load(Op::Lw, r(8), r(16), 0),
+            Instr::store(Op::Sw, r(9), r(16), 0),
+            Instr::load(Op::Lw, r(10), r(16), 0), // same address, new value
+        ]);
+        assert_eq!(apply(&mut seg), 0);
+    }
+
+    #[test]
+    fn different_immediates_do_not_merge() {
+        let mut seg = seg_of(vec![
+            Instr::alu_imm(Op::Addi, r(8), r(16), 4),
+            Instr::alu_imm(Op::Addi, r(9), r(16), 8),
+        ]);
+        assert_eq!(apply(&mut seg), 0);
+    }
+
+    #[test]
+    fn triple_duplicates_all_alias_the_first() {
+        let mut seg = seg_of(vec![
+            Instr::alu(Op::Xor, r(8), r(16), r(17)),
+            Instr::alu(Op::Xor, r(9), r(16), r(17)),
+            Instr::alu(Op::Xor, r(10), r(16), r(17)),
+            Instr::alu(Op::Add, r(11), r(9), r(10)),
+        ]);
+        assert_eq!(apply(&mut seg), 2);
+        assert_eq!(seg.slots[1].move_src, Some(SrcRef::Internal(0)));
+        assert_eq!(seg.slots[2].move_src, Some(SrcRef::Internal(0)));
+        // The consumer reads the original through both operands.
+        assert_eq!(seg.slots[3].srcs[0], Some(SrcRef::Internal(0)));
+        assert_eq!(seg.slots[3].srcs[1], Some(SrcRef::Internal(0)));
+        verify::equivalent(&seg, 7).unwrap();
+    }
+}

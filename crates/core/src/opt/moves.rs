@@ -1,0 +1,179 @@
+//! §4.2 — Register-move marking and dependence bypassing.
+//!
+//! The SSA ISA (like MIPS and Alpha) has no architectural move, so
+//! compilers synthesize moves from ALU instructions (`addi rd, rs, 0`,
+//! `add rd, rs, $zero`, …). The fill unit detects these idioms and marks
+//! them with a single bit. The rename logic then *completes* a marked move
+//! by aliasing the destination's mapping to the source's mapping — the
+//! instruction never occupies a reservation station or functional unit.
+//!
+//! Because aliasing the mapping takes a pipelined rename read, instructions
+//! *within the same segment* that source the move's result would eat a
+//! cycle of delay; the fill unit therefore rewrites them to depend directly
+//! on the move's source (last paragraph of §4.2).
+
+use crate::segment::{Segment, SrcRef};
+
+/// Marks register moves and re-points their in-segment consumers.
+///
+/// Returns the number of instructions marked as moves.
+pub fn apply(seg: &mut Segment) -> u64 {
+    let mut marked = 0;
+    for i in 0..seg.slots.len() {
+        let slot = &seg.slots[i];
+        if slot.is_move {
+            continue;
+        }
+        let Some(src_reg) = slot.orig.as_register_move() else {
+            continue;
+        };
+        // Locate the dataflow source of the moved value: the operand whose
+        // architectural register is `src_reg`. Zero-idioms copy $zero.
+        let loc = if src_reg.is_zero() {
+            SrcRef::LiveIn(src_reg)
+        } else {
+            let mut found = None;
+            for (k, r) in seg.slots[i].orig.srcs().enumerate() {
+                if r == src_reg {
+                    found = seg.slots[i].srcs[k];
+                    break;
+                }
+            }
+            match found {
+                Some(loc) => loc,
+                None => continue, // defensive; cannot happen for move idioms
+            }
+        };
+        // If the source location is itself a marked move, chase it so
+        // chains of moves collapse to the original producer.
+        let loc = resolve_through_moves(seg, loc);
+
+        let slot = &mut seg.slots[i];
+        slot.is_move = true;
+        slot.move_src = Some(loc);
+        marked += 1;
+
+        // Re-point later consumers of this move's output.
+        for j in (i + 1)..seg.slots.len() {
+            for k in 0..2 {
+                if seg.slots[j].srcs[k] == Some(SrcRef::Internal(i as u8)) {
+                    seg.slots[j].srcs[k] = Some(loc);
+                }
+            }
+        }
+    }
+    marked
+}
+
+/// Follows `loc` through already-marked moves to the true producer.
+fn resolve_through_moves(seg: &Segment, mut loc: SrcRef) -> SrcRef {
+    while let SrcRef::Internal(p) = loc {
+        let s = &seg.slots[p as usize];
+        match (s.is_move, s.move_src) {
+            (true, Some(inner)) => loc = inner,
+            _ => break,
+        }
+    }
+    loc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_segments, FillInput};
+    use crate::config::FillConfig;
+    use crate::opt::verify;
+    use tracefill_isa::{ArchReg, Instr, Op};
+
+    fn r(n: u8) -> ArchReg {
+        ArchReg::gpr(n)
+    }
+
+    fn stream(instrs: Vec<Instr>) -> Segment {
+        let inputs: Vec<FillInput> = instrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, instr)| FillInput {
+                pc: 0x40_0000 + 4 * i as u32,
+                instr,
+                taken: instr.op.is_cond_branch().then_some(false),
+                promoted: None,
+                fetch_miss_head: false,
+            })
+            .collect();
+        let mut segs = build_segments(&inputs, &FillConfig::default());
+        assert_eq!(segs.len(), 1, "test stream must form one segment");
+        segs.pop().unwrap()
+    }
+
+    #[test]
+    fn consumers_bypass_the_move() {
+        let mut seg = stream(vec![
+            Instr::alu(Op::Add, r(8), r(9), r(10)), // t0 = t1 + t2
+            Instr::alu_imm(Op::Addi, r(11), r(8), 0), // t3 = t0 (move)
+            Instr::alu(Op::Add, r(12), r(11), r(11)), // t4 = t3 + t3
+            Instr {
+                op: Op::Syscall,
+                rd: r(0),
+                rs: r(0),
+                rt: r(0),
+                imm: 0,
+            },
+        ]);
+        assert_eq!(apply(&mut seg), 1);
+        assert!(seg.slots[1].is_move);
+        assert_eq!(seg.slots[1].move_src, Some(SrcRef::Internal(0)));
+        // Both operands of slot 2 now bypass the move.
+        assert_eq!(seg.slots[2].srcs[0], Some(SrcRef::Internal(0)));
+        assert_eq!(seg.slots[2].srcs[1], Some(SrcRef::Internal(0)));
+        verify::equivalent(&seg, 7).unwrap();
+    }
+
+    #[test]
+    fn move_chains_collapse() {
+        let mut seg = stream(vec![
+            Instr::alu(Op::Add, r(8), r(9), r(10)),
+            Instr::alu_imm(Op::Addi, r(11), r(8), 0),  // move t0 -> t3
+            Instr::alu_imm(Op::Ori, r(12), r(11), 0),  // move t3 -> t4
+            Instr::alu(Op::Sub, r(13), r(12), r(9)),   // uses t4
+        ]);
+        assert_eq!(apply(&mut seg), 2);
+        assert_eq!(seg.slots[2].move_src, Some(SrcRef::Internal(0)));
+        assert_eq!(seg.slots[3].srcs[0], Some(SrcRef::Internal(0)));
+        verify::equivalent(&seg, 7).unwrap();
+    }
+
+    #[test]
+    fn zero_init_idioms_copy_zero() {
+        let mut seg = stream(vec![
+            Instr::alu(Op::And, r(8), r(9), r(0)), // t0 = 0
+            Instr::alu(Op::Add, r(10), r(8), r(9)),
+        ]);
+        assert_eq!(apply(&mut seg), 1);
+        assert_eq!(seg.slots[0].move_src, Some(SrcRef::LiveIn(r(0))));
+        assert_eq!(seg.slots[1].srcs[0], Some(SrcRef::LiveIn(r(0))));
+        verify::equivalent(&seg, 7).unwrap();
+    }
+
+    #[test]
+    fn live_in_moves_point_at_live_in() {
+        let mut seg = stream(vec![
+            Instr::alu_imm(Op::Addi, r(8), r(9), 0), // move of live-in t1
+            Instr::alu(Op::Add, r(10), r(8), r(8)),
+        ]);
+        apply(&mut seg);
+        assert_eq!(seg.slots[0].move_src, Some(SrcRef::LiveIn(r(9))));
+        assert_eq!(seg.slots[1].srcs[0], Some(SrcRef::LiveIn(r(9))));
+        verify::equivalent(&seg, 7).unwrap();
+    }
+
+    #[test]
+    fn non_moves_untouched() {
+        let mut seg = stream(vec![
+            Instr::alu_imm(Op::Addi, r(8), r(9), 4),
+            Instr::alu(Op::Add, r(10), r(8), r(9)),
+        ]);
+        assert_eq!(apply(&mut seg), 0);
+        assert!(!seg.slots[0].is_move);
+    }
+}

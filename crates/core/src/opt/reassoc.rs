@@ -1,0 +1,223 @@
+//! §4.3 — Reassociation: combining immediates of dependent instructions.
+//!
+//! For a dependent pair like
+//!
+//! ```text
+//! ADDI rx <- ry + 4
+//! ADDI rz <- rx + 4        =>        ADDI rz <- ry + 8
+//! ```
+//!
+//! the fill unit recomputes the later immediate and re-points its source at
+//! the earlier instruction's source, removing one link from the dependency
+//! chain. The same combination applies when the consumer is a load or store
+//! displacement (`ADDI rx <- ry + 4 ; LW rz <- [rx + 8]` becomes
+//! `LW rz <- [ry + 12]`), the dominant address-computation pattern.
+//!
+//! Following the paper, the pass (by default) only combines pairs that
+//! **cross a control-flow boundary** — the compiler has already
+//! reassociated within basic blocks, and restricting the fill unit to
+//! cross-block pairs isolates its contribution. The rewritten immediate
+//! must still fit the 16-bit field or the pair is left alone.
+
+use crate::segment::{Segment, SrcRef};
+use tracefill_isa::Op;
+
+/// Whether `op` can absorb an upstream `ADDI` into its (sign-extended
+/// 16-bit) immediate through operand 0.
+fn is_consumer(op: Op) -> bool {
+    matches!(
+        op,
+        Op::Addi | Op::Lb | Op::Lbu | Op::Lh | Op::Lhu | Op::Lw | Op::Sb | Op::Sh | Op::Sw
+    )
+}
+
+/// Applies reassociation; returns the number of instructions rewritten.
+pub fn apply(seg: &mut Segment, cross_block_only: bool) -> u64 {
+    let mut rewritten = 0;
+    for j in 0..seg.slots.len() {
+        if !is_consumer(seg.slots[j].op) {
+            continue;
+        }
+        // Scaled-add annotations shift operand 0 of memory ops; such a
+        // source no longer carries a plain register value. (Pass order
+        // makes this impossible today, but stay defensive.)
+        if seg.slots[j].scadd.map(|s| s.src) == Some(0) {
+            continue;
+        }
+        let Some(SrcRef::Internal(i)) = seg.slots[j].srcs[0] else {
+            continue;
+        };
+        let i = i as usize;
+        let producer = &seg.slots[i];
+        if producer.op != Op::Addi || producer.is_move {
+            continue;
+        }
+        if cross_block_only && producer.block == seg.slots[j].block {
+            continue;
+        }
+        let combined = producer.imm as i64 + seg.slots[j].imm as i64;
+        if !(-(1 << 15)..(1 << 15)).contains(&combined) {
+            continue; // would not fit the 16-bit immediate field
+        }
+        let new_src = producer.srcs[0].expect("ADDI always has a source");
+        let consumer = &mut seg.slots[j];
+        consumer.srcs[0] = Some(new_src);
+        consumer.imm = combined as i32;
+        consumer.reassociated = true;
+        rewritten += 1;
+    }
+    rewritten
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_segments, FillInput};
+    use crate::config::FillConfig;
+    use crate::opt::verify;
+    use tracefill_isa::{ArchReg, Instr};
+
+    fn r(n: u8) -> ArchReg {
+        ArchReg::gpr(n)
+    }
+
+    /// Builds a segment where a conditional branch separates the pair.
+    fn cross_block_pair() -> Segment {
+        let instrs = vec![
+            Instr::alu_imm(Op::Addi, r(8), r(9), 4),
+            Instr::branch(Op::Beq, r(0), r(0), 1),
+            Instr::alu_imm(Op::Addi, r(10), r(8), 4),
+        ];
+        let inputs: Vec<FillInput> = instrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, instr)| FillInput {
+                pc: 0x40_0000 + 4 * i as u32,
+                instr,
+                taken: instr.op.is_cond_branch().then_some(false),
+                promoted: None,
+                fetch_miss_head: false,
+            })
+            .collect();
+        build_segments(&inputs, &FillConfig::default()).pop().unwrap()
+    }
+
+    #[test]
+    fn paper_example_combines() {
+        let mut seg = cross_block_pair();
+        assert_eq!(apply(&mut seg, true), 1);
+        let c = &seg.slots[2];
+        assert_eq!(c.imm, 8);
+        assert_eq!(c.srcs[0], Some(SrcRef::LiveIn(r(9))));
+        assert!(c.reassociated);
+        // The producer is untouched (its value may be live-out).
+        assert_eq!(seg.slots[0].imm, 4);
+        verify::equivalent(&seg, 99).unwrap();
+    }
+
+    #[test]
+    fn same_block_pairs_respect_the_restriction() {
+        let instrs = vec![
+            Instr::alu_imm(Op::Addi, r(8), r(9), 4),
+            Instr::alu_imm(Op::Addi, r(10), r(8), 4),
+        ];
+        let inputs: Vec<FillInput> = instrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, instr)| FillInput {
+                pc: 0x1000 + 4 * i as u32,
+                instr,
+                taken: None,
+                promoted: None,
+                fetch_miss_head: false,
+            })
+            .collect();
+        let base = build_segments(&inputs, &FillConfig::default()).pop().unwrap();
+
+        let mut restricted = base.clone();
+        assert_eq!(apply(&mut restricted, true), 0);
+
+        let mut unrestricted = base;
+        assert_eq!(apply(&mut unrestricted, false), 1);
+        assert_eq!(unrestricted.slots[1].imm, 8);
+        verify::equivalent(&unrestricted, 3).unwrap();
+    }
+
+    #[test]
+    fn loads_and_stores_absorb_displacements() {
+        let instrs = vec![
+            Instr::alu_imm(Op::Addi, r(8), r(29), 16),
+            Instr::branch(Op::Bne, r(0), r(0), 1),
+            Instr::load(Op::Lw, r(10), r(8), 8),
+            Instr::store(Op::Sw, r(10), r(8), 12),
+        ];
+        let inputs: Vec<FillInput> = instrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, instr)| FillInput {
+                pc: 0x1000 + 4 * i as u32,
+                instr,
+                taken: instr.op.is_cond_branch().then_some(false),
+                promoted: None,
+                fetch_miss_head: false,
+            })
+            .collect();
+        let mut seg = build_segments(&inputs, &FillConfig::default()).pop().unwrap();
+        assert_eq!(apply(&mut seg, true), 2);
+        assert_eq!(seg.slots[2].imm, 24);
+        assert_eq!(seg.slots[3].imm, 28);
+        assert_eq!(seg.slots[2].srcs[0], Some(SrcRef::LiveIn(ArchReg::SP)));
+        verify::equivalent(&seg, 5).unwrap();
+    }
+
+    #[test]
+    fn chains_cascade() {
+        // addi / branch / addi / branch / addi — the third absorbs both.
+        let instrs = vec![
+            Instr::alu_imm(Op::Addi, r(8), r(9), 4),
+            Instr::branch(Op::Beq, r(0), r(0), 1),
+            Instr::alu_imm(Op::Addi, r(10), r(8), 4),
+            Instr::branch(Op::Beq, r(0), r(0), 1),
+            Instr::alu_imm(Op::Addi, r(11), r(10), 4),
+        ];
+        let inputs: Vec<FillInput> = instrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, instr)| FillInput {
+                pc: 0x1000 + 4 * i as u32,
+                instr,
+                taken: instr.op.is_cond_branch().then_some(false),
+                promoted: None,
+                fetch_miss_head: false,
+            })
+            .collect();
+        let mut seg = build_segments(&inputs, &FillConfig::default()).pop().unwrap();
+        assert_eq!(apply(&mut seg, true), 2);
+        assert_eq!(seg.slots[4].imm, 12);
+        assert_eq!(seg.slots[4].srcs[0], Some(SrcRef::LiveIn(r(9))));
+        verify::equivalent(&seg, 11).unwrap();
+    }
+
+    #[test]
+    fn overflowing_immediates_are_left_alone() {
+        let instrs = vec![
+            Instr::alu_imm(Op::Addi, r(8), r(9), 30000),
+            Instr::branch(Op::Beq, r(0), r(0), 1),
+            Instr::alu_imm(Op::Addi, r(10), r(8), 10000),
+        ];
+        let inputs: Vec<FillInput> = instrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, instr)| FillInput {
+                pc: 0x1000 + 4 * i as u32,
+                instr,
+                taken: instr.op.is_cond_branch().then_some(false),
+                promoted: None,
+                fetch_miss_head: false,
+            })
+            .collect();
+        let mut seg = build_segments(&inputs, &FillConfig::default()).pop().unwrap();
+        assert_eq!(apply(&mut seg, true), 0);
+        assert_eq!(seg.slots[2].imm, 10000);
+    }
+}

@@ -1,0 +1,177 @@
+//! §4.4 — Scaled-add creation (dependence collapsing of shift+add pairs).
+//!
+//! Array indexing constantly produces the pattern
+//!
+//! ```text
+//! SLL rw <- rx << 2
+//! ADD ry <- rw + rz        =>        SCADD ry <- (rx << 2) + rz
+//! ```
+//!
+//! The fill unit moves the (≤3-bit) shift distance into a 2-bit scaled-add
+//! field of the consumer and re-points the shifted operand at the shift's
+//! own source, so the pair executes in one cycle. The shift instruction
+//! itself stays in the segment — its result may have other consumers or be
+//! live-out (dead-code elimination is future work in the paper).
+//!
+//! The consumer may be a register add, a displacement load/store (its base
+//! is scaled) or the indexed load `LWX` (either operand).
+
+use crate::segment::{ScAdd, Segment, SrcRef};
+use tracefill_isa::Op;
+
+/// The operand indices of `op` that may absorb a scaled source.
+fn scalable_operands(op: Op) -> &'static [u8] {
+    match op {
+        Op::Add | Op::Lwx => &[0, 1],
+        Op::Lb | Op::Lbu | Op::Lh | Op::Lhu | Op::Lw | Op::Sb | Op::Sh | Op::Sw => &[0],
+        _ => &[],
+    }
+}
+
+/// Applies scaled-add creation; returns the number of consumers rewritten.
+pub fn apply(seg: &mut Segment, max_shift: u8) -> u64 {
+    let mut created = 0;
+    for j in 0..seg.slots.len() {
+        if seg.slots[j].scadd.is_some() {
+            continue;
+        }
+        for &k in scalable_operands(seg.slots[j].op) {
+            let Some(SrcRef::Internal(i)) = seg.slots[j].srcs[k as usize] else {
+                continue;
+            };
+            let producer = &seg.slots[i as usize];
+            if producer.op != Op::Sll || producer.is_move {
+                continue;
+            }
+            let shift = producer.imm;
+            if shift < 1 || shift > max_shift as i32 {
+                continue;
+            }
+            let new_src = producer.srcs[0].expect("SLL always has a source");
+            let consumer = &mut seg.slots[j];
+            consumer.srcs[k as usize] = Some(new_src);
+            consumer.scadd = Some(ScAdd {
+                shift: shift as u8,
+                src: k,
+            });
+            created += 1;
+            break; // only one operand may be scaled (paper §4.4)
+        }
+    }
+    created
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_segments, FillInput};
+    use crate::config::FillConfig;
+    use crate::opt::verify;
+    use tracefill_isa::{ArchReg, Instr};
+
+    fn r(n: u8) -> ArchReg {
+        ArchReg::gpr(n)
+    }
+
+    fn seg_of(instrs: Vec<Instr>) -> Segment {
+        let inputs: Vec<FillInput> = instrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, instr)| FillInput {
+                pc: 0x1000 + 4 * i as u32,
+                instr,
+                taken: instr.op.is_cond_branch().then_some(false),
+                promoted: None,
+                fetch_miss_head: false,
+            })
+            .collect();
+        build_segments(&inputs, &FillConfig::default()).pop().unwrap()
+    }
+
+    #[test]
+    fn paper_example_collapses() {
+        let mut seg = seg_of(vec![
+            Instr::alu_imm(Op::Sll, r(8), r(9), 2),
+            Instr::alu(Op::Add, r(10), r(8), r(11)),
+        ]);
+        assert_eq!(apply(&mut seg, 3), 1);
+        let c = &seg.slots[1];
+        assert_eq!(c.scadd, Some(ScAdd { shift: 2, src: 0 }));
+        assert_eq!(c.srcs[0], Some(SrcRef::LiveIn(r(9))));
+        // The shift survives.
+        assert_eq!(seg.slots[0].op, Op::Sll);
+        verify::equivalent(&seg, 1).unwrap();
+    }
+
+    #[test]
+    fn second_operand_can_be_scaled() {
+        let mut seg = seg_of(vec![
+            Instr::alu_imm(Op::Sll, r(8), r(9), 3),
+            Instr::alu(Op::Add, r(10), r(11), r(8)),
+        ]);
+        assert_eq!(apply(&mut seg, 3), 1);
+        assert_eq!(seg.slots[1].scadd, Some(ScAdd { shift: 3, src: 1 }));
+        verify::equivalent(&seg, 2).unwrap();
+    }
+
+    #[test]
+    fn loads_scale_their_base() {
+        let mut seg = seg_of(vec![
+            Instr::alu_imm(Op::Sll, r(8), r(9), 2),
+            Instr::load(Op::Lw, r(10), r(8), 64),
+            Instr::store(Op::Sw, r(10), r(8), 4),
+            Instr::alu(Op::Lwx, r(12), r(11), r(8)),
+        ]);
+        assert_eq!(apply(&mut seg, 3), 3);
+        assert_eq!(seg.slots[1].scadd, Some(ScAdd { shift: 2, src: 0 }));
+        assert_eq!(seg.slots[2].scadd, Some(ScAdd { shift: 2, src: 0 }));
+        assert_eq!(seg.slots[3].scadd, Some(ScAdd { shift: 2, src: 1 }));
+        verify::equivalent(&seg, 3).unwrap();
+    }
+
+    #[test]
+    fn shift_limit_enforced() {
+        let mut seg = seg_of(vec![
+            Instr::alu_imm(Op::Sll, r(8), r(9), 4), // too far
+            Instr::alu(Op::Add, r(10), r(8), r(11)),
+        ]);
+        assert_eq!(apply(&mut seg, 3), 0);
+        // A wider limit accepts it.
+        assert_eq!(apply(&mut seg, 4), 1);
+        verify::equivalent(&seg, 4).unwrap();
+    }
+
+    #[test]
+    fn only_one_operand_scales() {
+        let mut seg = seg_of(vec![
+            Instr::alu_imm(Op::Sll, r(8), r(9), 1),
+            Instr::alu_imm(Op::Sll, r(10), r(11), 2),
+            Instr::alu(Op::Add, r(12), r(8), r(10)),
+        ]);
+        assert_eq!(apply(&mut seg, 3), 1);
+        let c = &seg.slots[2];
+        assert_eq!(c.scadd, Some(ScAdd { shift: 1, src: 0 }));
+        // Operand 1 still depends on the second shift.
+        assert_eq!(c.srcs[1], Some(SrcRef::Internal(1)));
+        verify::equivalent(&seg, 5).unwrap();
+    }
+
+    #[test]
+    fn zero_shift_never_collapses() {
+        // sll by 0 is a move idiom, not a scaled add.
+        let mut seg = seg_of(vec![
+            Instr::alu_imm(Op::Sll, r(8), r(9), 0),
+            Instr::alu(Op::Add, r(10), r(8), r(11)),
+        ]);
+        assert_eq!(apply(&mut seg, 3), 0);
+    }
+
+    #[test]
+    fn srl_does_not_collapse() {
+        let mut seg = seg_of(vec![
+            Instr::alu_imm(Op::Srl, r(8), r(9), 2),
+            Instr::alu(Op::Add, r(10), r(8), r(11)),
+        ]);
+        assert_eq!(apply(&mut seg, 3), 0);
+    }
+}

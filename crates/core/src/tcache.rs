@@ -1,0 +1,381 @@
+//! The trace cache: path-associative storage of trace segments.
+//!
+//! The paper's trace cache holds 2048 lines, 4-way set associative —
+//! ≈156 KB of storage (128 KB of instruction bits plus 28 KB of 7-bit
+//! pre-decode per instruction; the optimizations of §4 add 7 more bits per
+//! instruction). Lines are indexed by the segment start address; several
+//! segments with the same start address but different embedded branch
+//! paths may coexist in the ways of one set. A lookup supplies the current
+//! multiple-branch predictions and selects the way whose embedded path
+//! matches the longest prediction prefix (with inactive issue, a partial
+//! match still issues the whole line).
+
+use crate::config::TraceCacheConfig;
+use crate::segment::Segment;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Hit/miss statistics of the trace cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceCacheStats {
+    /// Lookups that found at least one line with the right start address.
+    pub hits: u64,
+    /// Lookups that found none.
+    pub misses: u64,
+    /// Hits whose selected way fully matched the predicted path.
+    pub full_path_hits: u64,
+    /// Segments written.
+    pub fills: u64,
+    /// Fills that replaced a same-address, same-path line.
+    pub refreshes: u64,
+}
+
+impl TraceCacheStats {
+    /// Fraction of lookups that hit.
+    pub fn hit_rate(&self) -> f64 {
+        let t = self.hits + self.misses;
+        if t == 0 {
+            1.0
+        } else {
+            self.hits as f64 / t as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Way {
+    tag: u32,
+    lru: u64,
+    seg: Arc<Segment>,
+}
+
+/// How well a fetched line's embedded path matches the predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathMatch {
+    /// Number of leading conditional branches whose embedded direction
+    /// agrees with the prediction stream (promoted branches always agree).
+    pub matching_branches: u8,
+    /// Whether every branch agreed.
+    pub full: bool,
+}
+
+/// A trace cache lookup result.
+#[derive(Debug, Clone)]
+pub struct TcHit {
+    /// The stored segment.
+    pub seg: Arc<Segment>,
+    /// How far the predictions follow the embedded path.
+    pub path: PathMatch,
+}
+
+/// The trace cache.
+#[derive(Debug)]
+pub struct TraceCache {
+    sets: Vec<Vec<Way>>,
+    ways: usize,
+    set_mask: u32,
+    clock: u64,
+    stats: TraceCacheStats,
+}
+
+/// Computes how many leading branches of `seg` the prediction stream
+/// follows. Unpromoted branches consume predictions in order; promoted
+/// branches assert their embedded direction.
+pub fn match_predictions(seg: &Segment, preds: &[bool]) -> PathMatch {
+    let mut matching = 0u8;
+    let mut pred_idx = 0usize;
+    for b in &seg.branches {
+        let agreed = if b.promoted {
+            true
+        } else {
+            let p = preds.get(pred_idx).copied().unwrap_or(false);
+            pred_idx += 1;
+            p == b.taken
+        };
+        if agreed {
+            matching += 1;
+        } else {
+            return PathMatch {
+                matching_branches: matching,
+                full: false,
+            };
+        }
+    }
+    PathMatch {
+        matching_branches: matching,
+        full: true,
+    }
+}
+
+impl TraceCache {
+    /// Creates an empty trace cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry (see [`TraceCacheConfig::sets`]).
+    pub fn new(config: TraceCacheConfig) -> TraceCache {
+        let sets = config.sets();
+        TraceCache {
+            sets: (0..sets).map(|_| Vec::new()).collect(),
+            ways: config.ways as usize,
+            set_mask: sets - 1,
+            clock: 0,
+            stats: TraceCacheStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> TraceCacheStats {
+        self.stats
+    }
+
+    fn set_of(&self, pc: u32) -> usize {
+        ((pc >> 2) & self.set_mask) as usize
+    }
+
+    /// Looks up the segment for fetch address `pc` under the given
+    /// multiple-branch predictions, preferring the way with the longest
+    /// matching path prefix. Updates LRU and statistics.
+    pub fn lookup(&mut self, pc: u32, preds: &[bool]) -> Option<TcHit> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(pc);
+        let mut best: Option<(usize, PathMatch, usize)> = None; // (way idx, match, len)
+        for (w, way) in self.sets[set].iter().enumerate() {
+            if way.tag != pc {
+                continue;
+            }
+            let m = match_predictions(&way.seg, preds);
+            let better = match &best {
+                None => true,
+                Some((_, bm, blen)) => {
+                    (m.matching_branches, way.seg.slots.len())
+                        > (bm.matching_branches, *blen)
+                }
+            };
+            if better {
+                best = Some((w, m, way.seg.slots.len()));
+            }
+        }
+        match best {
+            Some((w, m, _)) => {
+                self.sets[set][w].lru = clock;
+                self.stats.hits += 1;
+                if m.full {
+                    self.stats.full_path_hits += 1;
+                }
+                Some(TcHit {
+                    seg: Arc::clone(&self.sets[set][w].seg),
+                    path: m,
+                })
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Writes a segment produced by the fill unit.
+    pub fn insert(&mut self, seg: Arc<Segment>) {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(seg.start_pc);
+        let ways = self.ways;
+        let sig = seg.path_sig();
+        let set_ways = &mut self.sets[set];
+        self.stats.fills += 1;
+
+        // Same start address and same path: refresh in place.
+        if let Some(w) = set_ways
+            .iter_mut()
+            .find(|w| w.tag == seg.start_pc && w.seg.path_sig() == sig)
+        {
+            w.seg = seg;
+            w.lru = clock;
+            self.stats.refreshes += 1;
+            return;
+        }
+        let tag = seg.start_pc;
+        if set_ways.len() < ways {
+            set_ways.push(Way {
+                tag,
+                lru: clock,
+                seg,
+            });
+            return;
+        }
+        // Evict the LRU way.
+        let victim = set_ways
+            .iter_mut()
+            .min_by_key(|w| w.lru)
+            .expect("full set has ways");
+        victim.tag = tag;
+        victim.seg = seg;
+        victim.lru = clock;
+    }
+
+    /// Total storage currently occupied, in bits (for the paper's ≈156 KB
+    /// + 7-bit-per-instruction accounting).
+    pub fn storage_bits(&self) -> u64 {
+        self.sets
+            .iter()
+            .flatten()
+            .map(|w| w.seg.storage_bits() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::tests::{simple_inputs, simple_segment};
+    use crate::builder::{build_segments, FillInput};
+    use crate::config::FillConfig;
+    use tracefill_isa::{ArchReg, Instr, Op};
+
+    fn small_tc() -> TraceCache {
+        TraceCache::new(TraceCacheConfig { entries: 8, ways: 2 })
+    }
+
+    /// A one-branch segment at `pc` whose branch goes `taken`.
+    fn seg_with_path(pc: u32, taken: bool) -> Arc<Segment> {
+        let inputs = vec![
+            FillInput {
+                pc,
+                instr: Instr::branch(Op::Beq, ArchReg::gpr(8), ArchReg::ZERO, 4),
+                taken: Some(taken),
+                promoted: None,
+                fetch_miss_head: false,
+            },
+            FillInput {
+                pc: if taken { pc + 20 } else { pc + 4 },
+                instr: Instr {
+                    op: Op::Syscall,
+                    rd: ArchReg::ZERO,
+                    rs: ArchReg::ZERO,
+                    rt: ArchReg::ZERO,
+                    imm: 0,
+                },
+                taken: None,
+                promoted: None,
+                fetch_miss_head: false,
+            },
+        ];
+        Arc::new(build_segments(&inputs, &FillConfig::default()).pop().unwrap())
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut tc = small_tc();
+        let seg = Arc::new(simple_segment());
+        let pc = seg.start_pc;
+        assert!(tc.lookup(pc, &[false, false, false]).is_none());
+        tc.insert(seg);
+        let hit = tc.lookup(pc, &[false, false, false]).unwrap();
+        assert!(hit.path.full);
+        assert_eq!(tc.stats().hits, 1);
+        assert_eq!(tc.stats().misses, 1);
+    }
+
+    #[test]
+    fn path_selection_prefers_matching_way() {
+        let mut tc = small_tc();
+        let pc = 0x40_0000;
+        tc.insert(seg_with_path(pc, true));
+        tc.insert(seg_with_path(pc, false));
+        let hit = tc.lookup(pc, &[true]).unwrap();
+        assert!(hit.seg.branches[0].taken);
+        assert!(hit.path.full);
+        let hit = tc.lookup(pc, &[false]).unwrap();
+        assert!(!hit.seg.branches[0].taken);
+    }
+
+    #[test]
+    fn partial_match_reports_divergence() {
+        let mut tc = small_tc();
+        let pc = 0x40_0000;
+        tc.insert(seg_with_path(pc, true));
+        let hit = tc.lookup(pc, &[false]).unwrap();
+        assert!(!hit.path.full);
+        assert_eq!(hit.path.matching_branches, 0);
+    }
+
+    #[test]
+    fn refresh_replaces_same_path_line() {
+        let mut tc = small_tc();
+        let pc = 0x40_0000;
+        tc.insert(seg_with_path(pc, true));
+        tc.insert(seg_with_path(pc, true));
+        assert_eq!(tc.stats().refreshes, 1);
+        // Different path is a separate way, not a refresh.
+        tc.insert(seg_with_path(pc, false));
+        assert_eq!(tc.stats().refreshes, 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut tc = small_tc(); // 4 sets, 2 ways; stride 16 bytes maps... sets indexed by (pc>>2)&3
+        let stride = 4 * 4; // distinct pcs in the same set: (pc>>2) multiples of 4
+        let pcs: Vec<u32> = (0..3).map(|i| 0x1000 + i * stride).collect();
+        for &pc in &pcs {
+            let inputs = simple_inputs()
+                .into_iter()
+                .map(|mut f| {
+                    f.pc = f.pc - 0x40_0000 + pc;
+                    f
+                })
+                .collect::<Vec<_>>();
+            tc.insert(Arc::new(
+                build_segments(&inputs, &FillConfig::default()).pop().unwrap(),
+            ));
+        }
+        // First insert was evicted by the third (same set, 2 ways).
+        assert!(tc.lookup(pcs[0], &[false]).is_none());
+        assert!(tc.lookup(pcs[1], &[false]).is_some());
+        assert!(tc.lookup(pcs[2], &[false]).is_some());
+    }
+
+    #[test]
+    fn promoted_branches_do_not_consume_predictions() {
+        let pc = 0x40_0000;
+        let inputs = vec![
+            FillInput {
+                pc,
+                instr: Instr::branch(Op::Beq, ArchReg::gpr(8), ArchReg::ZERO, 4),
+                taken: Some(true),
+                promoted: Some(true),
+                fetch_miss_head: false,
+            },
+            FillInput {
+                pc: pc + 20,
+                instr: Instr::branch(Op::Bne, ArchReg::gpr(9), ArchReg::ZERO, 4),
+                taken: Some(false),
+                promoted: None,
+                fetch_miss_head: false,
+            },
+            FillInput {
+                pc: pc + 24,
+                instr: Instr {
+                    op: Op::Syscall,
+                    rd: ArchReg::ZERO,
+                    rs: ArchReg::ZERO,
+                    rt: ArchReg::ZERO,
+                    imm: 0,
+                },
+                taken: None,
+                promoted: None,
+                fetch_miss_head: false,
+            },
+        ];
+        let seg = build_segments(&inputs, &FillConfig::default()).pop().unwrap();
+        // Prediction stream only carries the unpromoted branch: [false].
+        let m = match_predictions(&seg, &[false]);
+        assert!(m.full);
+        assert_eq!(m.matching_branches, 2);
+        // A wrong dynamic prediction diverges at the unpromoted branch.
+        let m = match_predictions(&seg, &[true]);
+        assert!(!m.full);
+        assert_eq!(m.matching_branches, 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the trace cache and fill unit.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tracefill_core::builder::{build_segments, FillInput};
+use tracefill_core::config::{FillConfig, TraceCacheConfig};
+use tracefill_core::tcache::{match_predictions, TraceCache};
+use tracefill_core::segment::Segment;
+use tracefill_isa::{ArchReg, Instr, Op};
+
+/// A random but well-formed retire stream (sequential PCs, branches with
+/// recorded directions).
+fn arb_stream(len: usize) -> impl Strategy<Value = Vec<FillInput>> {
+    let instr = prop_oneof![
+        (0u8..16, 0u8..16).prop_map(|(d, s)| Instr::alu_imm(
+            Op::Addi,
+            ArchReg::gpr(d),
+            ArchReg::gpr(s),
+            1
+        )),
+        (0u8..16, 0u8..16, any::<bool>()).prop_map(|(a, b, t)| {
+            let _ = t;
+            Instr::branch(Op::Beq, ArchReg::gpr(a), ArchReg::gpr(b), 2)
+        }),
+        (0u8..16, 0u8..16).prop_map(|(d, b)| Instr::load(
+            Op::Lw,
+            ArchReg::gpr(d),
+            ArchReg::gpr(b),
+            0
+        )),
+    ];
+    prop::collection::vec((instr, any::<bool>()), 1..len).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (instr, taken))| FillInput {
+                pc: 0x40_0000 + 4 * i as u32,
+                instr,
+                taken: instr.op.is_cond_branch().then_some(taken),
+                promoted: None,
+                fetch_miss_head: false,
+            })
+            .collect()
+    })
+}
+
+/// The prediction stream that exactly follows a segment's embedded path.
+fn matching_preds(seg: &Segment) -> Vec<bool> {
+    seg.branches
+        .iter()
+        .filter(|b| !b.promoted)
+        .map(|b| b.taken)
+        .collect()
+}
+
+proptest! {
+    /// Any segment just inserted is found by a lookup at its start address
+    /// with its own path predictions, and the match is full.
+    #[test]
+    fn inserted_segments_are_found(stream in arb_stream(128)) {
+        let mut tc = TraceCache::new(TraceCacheConfig::default());
+        let segs = build_segments(&stream, &FillConfig::default());
+        for seg in segs {
+            let pc = seg.start_pc;
+            let preds = matching_preds(&seg);
+            tc.insert(Arc::new(seg));
+            let hit = tc.lookup(pc, &preds);
+            prop_assert!(hit.is_some(), "lost a just-inserted segment");
+            prop_assert!(hit.unwrap().path.full);
+        }
+    }
+
+    /// `match_predictions` agrees with a straightforward reference
+    /// implementation.
+    #[test]
+    fn path_matching_reference(stream in arb_stream(64), preds in prop::collection::vec(any::<bool>(), 3)) {
+        for seg in build_segments(&stream, &FillConfig::default()) {
+            let m = match_predictions(&seg, &preds);
+            // Reference: walk branches, consuming predictions for
+            // unpromoted ones, until a mismatch.
+            let mut pi = 0;
+            let mut matching = 0;
+            let mut full = true;
+            for b in &seg.branches {
+                let agreed = if b.promoted {
+                    true
+                } else {
+                    let p = preds.get(pi).copied().unwrap_or(false);
+                    pi += 1;
+                    p == b.taken
+                };
+                if agreed {
+                    matching += 1;
+                } else {
+                    full = false;
+                    break;
+                }
+            }
+            prop_assert_eq!(m.matching_branches as usize, matching);
+            prop_assert_eq!(m.full, full);
+        }
+    }
+
+    /// Total stored instructions never exceed the configured capacity in
+    /// line-entries terms.
+    #[test]
+    fn capacity_is_bounded(streams in prop::collection::vec(arb_stream(96), 1..6)) {
+        let cfg = TraceCacheConfig { entries: 32, ways: 4 };
+        let mut tc = TraceCache::new(cfg);
+        let mut lines = 0u64;
+        for (n, stream) in streams.into_iter().enumerate() {
+            // Shift each stream to different addresses.
+            let stream: Vec<FillInput> = stream
+                .into_iter()
+                .map(|mut f| {
+                    f.pc += (n as u32) * 0x1_0000;
+                    f
+                })
+                .collect();
+            for seg in build_segments(&stream, &FillConfig::default()) {
+                tc.insert(Arc::new(seg));
+                lines += 1;
+            }
+        }
+        // storage_bits counts live lines only; each line is at most 16
+        // slots of 46 bits.
+        prop_assert!(tc.storage_bits() <= (cfg.entries as u64) * 16 * 46);
+        prop_assert!(tc.stats().fills == lines);
+    }
+
+    /// Fill-unit and offline builder produce identical segments for the
+    /// same stream (same config, no optimization).
+    #[test]
+    fn fill_unit_matches_offline_builder(stream in arb_stream(96)) {
+        use tracefill_core::fill::FillUnit;
+        let cfg = FillConfig::default();
+        let offline = build_segments(&stream, &cfg);
+        let mut fu = FillUnit::new(cfg);
+        for (i, input) in stream.iter().enumerate() {
+            fu.retire(*input, i as u64);
+        }
+        let online: Vec<_> = fu.drain_ready(u64::MAX - 1).into_iter().collect();
+        // The fill unit keeps its trailing partial segment pending; the
+        // offline builder flushes it. Everything before that must agree.
+        prop_assert!(online.len() == offline.len() || online.len() + 1 == offline.len());
+        for (a, b) in online.iter().zip(&offline) {
+            prop_assert_eq!(a.as_ref(), b);
+        }
+    }
+}

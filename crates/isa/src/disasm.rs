@@ -1,0 +1,73 @@
+//! Textual disassembly of instructions.
+//!
+//! The produced syntax is the same the assembler accepts (modulo labels:
+//! branch and jump targets print as numeric offsets/addresses).
+
+use crate::instr::Instr;
+use crate::op::Op;
+use std::fmt;
+
+/// Formats one instruction in assembler syntax.
+///
+/// This is the implementation behind `Instr`'s [`std::fmt::Display`].
+pub fn fmt_instr(i: &Instr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    use Op::*;
+    let m = i.op.mnemonic();
+    match i.op {
+        Add | Sub | And | Or | Xor | Nor | Slt | Sltu | Sllv | Srlv | Srav | Mul | Mulh | Div
+        | Rem => write!(f, "{m} {}, {}, {}", i.rd, i.rs, i.rt),
+        Lwx => write!(f, "{m} {}, {}, {}", i.rd, i.rs, i.rt),
+        Sll | Srl | Sra => write!(f, "{m} {}, {}, {}", i.rd, i.rs, i.imm),
+        Addi | Andi | Ori | Xori | Slti | Sltiu => {
+            write!(f, "{m} {}, {}, {}", i.rd, i.rs, i.imm)
+        }
+        Lui => write!(f, "{m} {}, {:#x}", i.rd, (i.imm as u32) >> 16),
+        Lb | Lbu | Lh | Lhu | Lw => write!(f, "{m} {}, {}({})", i.rd, i.imm, i.rs),
+        Sb | Sh | Sw => write!(f, "{m} {}, {}({})", i.rt, i.imm, i.rs),
+        Beq | Bne => write!(f, "{m} {}, {}, {}", i.rs, i.rt, i.imm),
+        Blez | Bgtz | Bltz | Bgez => write!(f, "{m} {}, {}", i.rs, i.imm),
+        J | Jal => write!(f, "{m} {:#x}", (i.imm as u32) << 2),
+        Jr => write!(f, "{m} {}", i.rs),
+        Jalr => write!(f, "{m} {}, {}", i.rd, i.rs),
+        Syscall | Break => write!(f, "{m}"),
+    }
+}
+
+/// Disassembles one instruction to a `String`.
+pub fn disassemble(i: &Instr) -> String {
+    i.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::ArchReg;
+
+    fn r(n: u8) -> ArchReg {
+        ArchReg::gpr(n)
+    }
+
+    #[test]
+    fn representative_formats() {
+        let cases = [
+            (Instr::alu(Op::Add, r(3), r(1), r(2)), "add $v1, $at, $v0"),
+            (
+                Instr::alu_imm(Op::Addi, r(8), r(9), -4),
+                "addi $t0, $t1, -4",
+            ),
+            (Instr::load(Op::Lw, r(4), r(29), 8), "lw $a0, 8($sp)"),
+            (Instr::store(Op::Sw, r(5), r(29), -12), "sw $a1, -12($sp)"),
+            (
+                Instr::branch(Op::Beq, r(1), r(2), 5),
+                "beq $at, $v0, 5",
+            ),
+            (
+                Instr::alu_imm(Op::Lui, r(4), r(0), 0x1234 << 16),
+                "lui $a0, 0x1234",
+            ),
+        ];
+        for (i, expect) in cases {
+            assert_eq!(disassemble(&i), expect);
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Binary encoding and decoding of SSA instructions.
+//!
+//! Instructions are fixed 32-bit words in a MIPS-style layout:
+//!
+//! ```text
+//!  31    26 25  21 20  16 15  11 10   6 5     0
+//! +--------+------+------+------+------+-------+
+//! |   op   |  rs  |  rt  |  rd  | shamt| funct |   R-type (op = 0)
+//! +--------+------+------+------+------+-------+
+//! |   op   |  rs  |  rt  |      imm16          |   I-type
+//! +--------+------+------+---------------------+
+//! |   op   |            target26               |   J-type
+//! +--------+-----------------------------------+
+//! ```
+//!
+//! The destination of I-type instructions lives in the `rt` field, as in
+//! MIPS. The simulator never stores encoded words in its pipeline — it works
+//! on decoded [`Instr`] values — but programs are loaded from and assembled
+//! to encoded words, and the trace cache charges storage for them.
+
+use crate::instr::Instr;
+use crate::op::Op;
+use crate::reg::ArchReg;
+use std::fmt;
+
+/// Error returned when a 32-bit word is not a valid SSA instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Error returned when an [`Instr`] cannot be encoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeError {
+    /// Why the instruction is not encodable.
+    pub reason: String,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unencodable instruction: {}", self.reason)
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+// Primary opcode numbers.
+const OP_SPECIAL: u32 = 0x00;
+const OP_REGIMM: u32 = 0x01;
+
+// SPECIAL funct numbers.
+const FN_SLL: u32 = 0x00;
+const FN_SRL: u32 = 0x02;
+const FN_SRA: u32 = 0x03;
+const FN_SLLV: u32 = 0x04;
+const FN_SRLV: u32 = 0x06;
+const FN_SRAV: u32 = 0x07;
+const FN_JR: u32 = 0x08;
+const FN_JALR: u32 = 0x09;
+const FN_SYSCALL: u32 = 0x0c;
+const FN_BREAK: u32 = 0x0d;
+const FN_MUL: u32 = 0x18;
+const FN_MULH: u32 = 0x19;
+const FN_DIV: u32 = 0x1a;
+const FN_REM: u32 = 0x1b;
+const FN_ADD: u32 = 0x20;
+const FN_SUB: u32 = 0x22;
+const FN_AND: u32 = 0x24;
+const FN_OR: u32 = 0x25;
+const FN_XOR: u32 = 0x26;
+const FN_NOR: u32 = 0x27;
+const FN_SLT: u32 = 0x2a;
+const FN_SLTU: u32 = 0x2b;
+const FN_LWX: u32 = 0x30;
+
+fn special_funct(op: Op) -> Option<u32> {
+    Some(match op {
+        Op::Sll => FN_SLL,
+        Op::Srl => FN_SRL,
+        Op::Sra => FN_SRA,
+        Op::Sllv => FN_SLLV,
+        Op::Srlv => FN_SRLV,
+        Op::Srav => FN_SRAV,
+        Op::Jr => FN_JR,
+        Op::Jalr => FN_JALR,
+        Op::Syscall => FN_SYSCALL,
+        Op::Break => FN_BREAK,
+        Op::Mul => FN_MUL,
+        Op::Mulh => FN_MULH,
+        Op::Div => FN_DIV,
+        Op::Rem => FN_REM,
+        Op::Add => FN_ADD,
+        Op::Sub => FN_SUB,
+        Op::And => FN_AND,
+        Op::Or => FN_OR,
+        Op::Xor => FN_XOR,
+        Op::Nor => FN_NOR,
+        Op::Slt => FN_SLT,
+        Op::Sltu => FN_SLTU,
+        Op::Lwx => FN_LWX,
+        _ => return None,
+    })
+}
+
+fn primary_opcode(op: Op) -> Option<u32> {
+    Some(match op {
+        Op::J => 0x02,
+        Op::Jal => 0x03,
+        Op::Beq => 0x04,
+        Op::Bne => 0x05,
+        Op::Blez => 0x06,
+        Op::Bgtz => 0x07,
+        Op::Addi => 0x08,
+        Op::Slti => 0x0a,
+        Op::Sltiu => 0x0b,
+        Op::Andi => 0x0c,
+        Op::Ori => 0x0d,
+        Op::Xori => 0x0e,
+        Op::Lui => 0x0f,
+        Op::Lb => 0x20,
+        Op::Lh => 0x21,
+        Op::Lw => 0x23,
+        Op::Lbu => 0x24,
+        Op::Lhu => 0x25,
+        Op::Sb => 0x28,
+        Op::Sh => 0x29,
+        Op::Sw => 0x2b,
+        _ => return None,
+    })
+}
+
+fn pack_r(rs: u32, rt: u32, rd: u32, shamt: u32, funct: u32) -> u32 {
+    (OP_SPECIAL << 26) | (rs << 21) | (rt << 16) | (rd << 11) | (shamt << 6) | funct
+}
+
+fn pack_i(op: u32, rs: u32, rt: u32, imm16: u32) -> u32 {
+    (op << 26) | (rs << 21) | (rt << 16) | (imm16 & 0xffff)
+}
+
+/// Encodes a decoded instruction into its 32-bit word.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] if [`Instr::validate`] rejects the instruction
+/// (out-of-range immediate or shift amount, misused fields).
+pub fn encode(i: &Instr) -> Result<u32, EncodeError> {
+    i.validate().map_err(|reason| EncodeError { reason })?;
+    let rd = i.rd.index() as u32;
+    let rs = i.rs.index() as u32;
+    let rt = i.rt.index() as u32;
+    use Op::*;
+    let word = match i.op {
+        // Shift-immediate: source in rs, amount in shamt.
+        Sll | Srl | Sra => pack_r(rs, 0, rd, i.imm as u32 & 0x1f, special_funct(i.op).unwrap()),
+        // Register jumps: target in rs; jalr link register in rd.
+        Jr => pack_r(rs, 0, 0, 0, FN_JR),
+        Jalr => pack_r(rs, 0, rd, 0, FN_JALR),
+        Syscall => pack_r(0, 0, 0, 0, FN_SYSCALL),
+        Break => pack_r(0, 0, 0, 0, FN_BREAK),
+        // All remaining SPECIAL ops are rd <- rs OP rt.
+        Add | Sub | And | Or | Xor | Nor | Slt | Sltu | Sllv | Srlv | Srav | Mul | Mulh | Div
+        | Rem | Lwx => pack_r(rs, rt, rd, 0, special_funct(i.op).unwrap()),
+        Bltz => pack_i(OP_REGIMM, rs, 0x00, i.imm as u32),
+        Bgez => pack_i(OP_REGIMM, rs, 0x01, i.imm as u32),
+        Beq | Bne => pack_i(primary_opcode(i.op).unwrap(), rs, rt, i.imm as u32),
+        Blez | Bgtz => pack_i(primary_opcode(i.op).unwrap(), rs, 0, i.imm as u32),
+        // I-type ALU: destination in the rt field.
+        Addi | Andi | Ori | Xori | Slti | Sltiu => {
+            pack_i(primary_opcode(i.op).unwrap(), rs, rd, i.imm as u32)
+        }
+        Lui => pack_i(0x0f, 0, rd, (i.imm as u32) >> 16),
+        Lb | Lbu | Lh | Lhu | Lw => pack_i(primary_opcode(i.op).unwrap(), rs, rd, i.imm as u32),
+        Sb | Sh | Sw => pack_i(primary_opcode(i.op).unwrap(), rs, rt, i.imm as u32),
+        J | Jal => {
+            let prim = primary_opcode(i.op).unwrap();
+            (prim << 26) | (i.imm as u32 & 0x03ff_ffff)
+        }
+    };
+    Ok(word)
+}
+
+fn reg(n: u32) -> ArchReg {
+    ArchReg::gpr(n as u8)
+}
+
+fn sext16(v: u32) -> i32 {
+    v as u16 as i16 as i32
+}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for unassigned primary opcodes, funct codes, or
+/// REGIMM selectors.
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let err = DecodeError { word };
+    let prim = word >> 26;
+    let rs = (word >> 21) & 0x1f;
+    let rt = (word >> 16) & 0x1f;
+    let rd = (word >> 11) & 0x1f;
+    let shamt = (word >> 6) & 0x1f;
+    let funct = word & 0x3f;
+    let imm16 = word & 0xffff;
+
+    let instr = match prim {
+        OP_SPECIAL => {
+            let op = match funct {
+                FN_SLL => Op::Sll,
+                FN_SRL => Op::Srl,
+                FN_SRA => Op::Sra,
+                FN_SLLV => Op::Sllv,
+                FN_SRLV => Op::Srlv,
+                FN_SRAV => Op::Srav,
+                FN_JR => Op::Jr,
+                FN_JALR => Op::Jalr,
+                FN_SYSCALL => Op::Syscall,
+                FN_BREAK => Op::Break,
+                FN_MUL => Op::Mul,
+                FN_MULH => Op::Mulh,
+                FN_DIV => Op::Div,
+                FN_REM => Op::Rem,
+                FN_ADD => Op::Add,
+                FN_SUB => Op::Sub,
+                FN_AND => Op::And,
+                FN_OR => Op::Or,
+                FN_XOR => Op::Xor,
+                FN_NOR => Op::Nor,
+                FN_SLT => Op::Slt,
+                FN_SLTU => Op::Sltu,
+                FN_LWX => Op::Lwx,
+                _ => return Err(err),
+            };
+            // Canonicalize: zero every field the opcode does not use, so
+            // decode -> encode -> decode is the identity.
+            match op {
+                Op::Sll | Op::Srl | Op::Sra => {
+                    Instr::alu_imm(op, reg(rd), reg(rs), shamt as i32)
+                }
+                Op::Jr => Instr {
+                    op,
+                    rd: ArchReg::ZERO,
+                    rs: reg(rs),
+                    rt: ArchReg::ZERO,
+                    imm: 0,
+                },
+                Op::Jalr => Instr {
+                    op,
+                    rd: reg(rd),
+                    rs: reg(rs),
+                    rt: ArchReg::ZERO,
+                    imm: 0,
+                },
+                Op::Syscall | Op::Break => Instr {
+                    op,
+                    rd: ArchReg::ZERO,
+                    rs: ArchReg::ZERO,
+                    rt: ArchReg::ZERO,
+                    imm: 0,
+                },
+                _ => Instr {
+                    op,
+                    rd: reg(rd),
+                    rs: reg(rs),
+                    rt: reg(rt),
+                    imm: 0,
+                },
+            }
+        }
+        OP_REGIMM => {
+            let op = match rt {
+                0x00 => Op::Bltz,
+                0x01 => Op::Bgez,
+                _ => return Err(err),
+            };
+            Instr::branch(op, reg(rs), ArchReg::ZERO, sext16(imm16))
+        }
+        0x02 | 0x03 => Instr {
+            op: if prim == 0x02 { Op::J } else { Op::Jal },
+            rd: ArchReg::ZERO,
+            rs: ArchReg::ZERO,
+            rt: ArchReg::ZERO,
+            imm: (word & 0x03ff_ffff) as i32,
+        },
+        0x04 => Instr::branch(Op::Beq, reg(rs), reg(rt), sext16(imm16)),
+        0x05 => Instr::branch(Op::Bne, reg(rs), reg(rt), sext16(imm16)),
+        0x06 => Instr::branch(Op::Blez, reg(rs), ArchReg::ZERO, sext16(imm16)),
+        0x07 => Instr::branch(Op::Bgtz, reg(rs), ArchReg::ZERO, sext16(imm16)),
+        0x08 => Instr::alu_imm(Op::Addi, reg(rt), reg(rs), sext16(imm16)),
+        0x0a => Instr::alu_imm(Op::Slti, reg(rt), reg(rs), sext16(imm16)),
+        0x0b => Instr::alu_imm(Op::Sltiu, reg(rt), reg(rs), sext16(imm16)),
+        0x0c => Instr::alu_imm(Op::Andi, reg(rt), reg(rs), imm16 as i32),
+        0x0d => Instr::alu_imm(Op::Ori, reg(rt), reg(rs), imm16 as i32),
+        0x0e => Instr::alu_imm(Op::Xori, reg(rt), reg(rs), imm16 as i32),
+        0x0f => Instr::alu_imm(Op::Lui, reg(rt), ArchReg::ZERO, (imm16 << 16) as i32),
+        0x20 => Instr::load(Op::Lb, reg(rt), reg(rs), sext16(imm16)),
+        0x21 => Instr::load(Op::Lh, reg(rt), reg(rs), sext16(imm16)),
+        0x23 => Instr::load(Op::Lw, reg(rt), reg(rs), sext16(imm16)),
+        0x24 => Instr::load(Op::Lbu, reg(rt), reg(rs), sext16(imm16)),
+        0x25 => Instr::load(Op::Lhu, reg(rt), reg(rs), sext16(imm16)),
+        0x28 => Instr::store(Op::Sb, reg(rt), reg(rs), sext16(imm16)),
+        0x29 => Instr::store(Op::Sh, reg(rt), reg(rs), sext16(imm16)),
+        0x2b => Instr::store(Op::Sw, reg(rt), reg(rs), sext16(imm16)),
+        _ => return Err(err),
+    };
+    Ok(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_encodes_to_zero() {
+        assert_eq!(encode(&crate::instr::NOP).unwrap(), 0);
+        assert_eq!(decode(0).unwrap(), crate::instr::NOP);
+    }
+
+    #[test]
+    fn invalid_words_are_rejected() {
+        // Unassigned primary opcode 0x3f.
+        assert!(decode(0x3f << 26).is_err());
+        // SPECIAL with unassigned funct 0x3f.
+        assert!(decode(0x3f).is_err());
+        // REGIMM with unassigned selector.
+        assert!(decode((OP_REGIMM << 26) | (0x1f << 16)).is_err());
+    }
+
+    #[test]
+    fn negative_displacements_roundtrip() {
+        let i = Instr::load(Op::Lw, ArchReg::gpr(4), ArchReg::SP, -8);
+        let w = encode(&i).unwrap();
+        assert_eq!(decode(w).unwrap(), i);
+    }
+
+    #[test]
+    fn lui_roundtrip_high_bit() {
+        let i = Instr::alu_imm(Op::Lui, ArchReg::gpr(4), ArchReg::ZERO, 0x8001u32 as i32 - 1);
+        // 0x8000 << 16 pattern: build directly to avoid arithmetic confusion.
+        let i = Instr {
+            imm: (0x8000u32 << 16) as i32,
+            ..i
+        };
+        let w = encode(&i).unwrap();
+        assert_eq!(decode(w).unwrap(), i);
+    }
+
+    #[test]
+    fn encode_rejects_invalid() {
+        let bad = Instr::alu_imm(Op::Addi, ArchReg::gpr(1), ArchReg::gpr(2), 1 << 20);
+        assert!(encode(&bad).is_err());
+    }
+}

@@ -1,0 +1,384 @@
+//! Decoded instructions and their operand roles.
+
+use crate::op::{Op, OpKind};
+use crate::reg::ArchReg;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A decoded SSA instruction.
+///
+/// The four operand fields are interpreted per opcode as follows (fields not
+/// listed are ignored and should be zero):
+///
+/// | format | opcodes | semantics |
+/// |---|---|---|
+/// | three-register | `add sub and or xor nor slt sltu sllv srlv srav mul mulh div rem` | `rd <- rs OP rt` |
+/// | shift-immediate | `sll srl sra` | `rd <- rs SHIFT imm` (`imm` in `0..32`) |
+/// | ALU-immediate | `addi andi ori xori slti sltiu` | `rd <- rs OP imm` |
+/// | load-upper | `lui` | `rd <- imm << 16` |
+/// | load | `lb lbu lh lhu lw` | `rd <- mem[rs + imm]` |
+/// | indexed load | `lwx` | `rd <- mem[rs + rt]` |
+/// | store | `sb sh sw` | `mem[rs + imm] <- rt` |
+/// | compare-branch | `beq bne` | `if rs ~ rt: pc <- pc + 4 + (imm << 2)` |
+/// | zero-branch | `blez bgtz bltz bgez` | `if rs ~ 0: pc <- pc + 4 + (imm << 2)` |
+/// | jump | `j jal` | `pc <- imm << 2` (`jal` also writes `$ra`) |
+/// | register jump | `jr jalr` | `pc <- rs` (`jalr` also writes `rd`) |
+/// | system | `syscall break` | serializing |
+///
+/// Arithmetic, compare and memory-displacement immediates are sign-extended
+/// 16-bit values; logical immediates (`andi ori xori lui`) are zero-extended.
+/// `imm` stores the already-extended value.
+///
+/// # Examples
+///
+/// ```
+/// use tracefill_isa::{Instr, Op, ArchReg};
+///
+/// // A register move spelled as `addi $t0, $t1, 0`:
+/// let i = Instr::alu_imm(Op::Addi, ArchReg::gpr(8), ArchReg::gpr(9), 0);
+/// assert_eq!(i.as_register_move(), Some(ArchReg::gpr(9)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Instr {
+    /// Opcode.
+    pub op: Op,
+    /// Destination register field.
+    pub rd: ArchReg,
+    /// First source register field.
+    pub rs: ArchReg,
+    /// Second source register field (also the store-data register).
+    pub rt: ArchReg,
+    /// Immediate field, already sign- or zero-extended per the opcode.
+    pub imm: i32,
+}
+
+/// The canonical no-op (`sll $zero, $zero, 0`).
+pub const NOP: Instr = Instr {
+    op: Op::Sll,
+    rd: ArchReg::ZERO,
+    rs: ArchReg::ZERO,
+    rt: ArchReg::ZERO,
+    imm: 0,
+};
+
+impl Instr {
+    /// Builds a three-register ALU instruction: `rd <- rs OP rt`.
+    pub fn alu(op: Op, rd: ArchReg, rs: ArchReg, rt: ArchReg) -> Instr {
+        Instr {
+            op,
+            rd,
+            rs,
+            rt,
+            imm: 0,
+        }
+    }
+
+    /// Builds an immediate ALU or shift-immediate instruction: `rd <- rs OP imm`.
+    pub fn alu_imm(op: Op, rd: ArchReg, rs: ArchReg, imm: i32) -> Instr {
+        Instr {
+            op,
+            rd,
+            rs,
+            rt: ArchReg::ZERO,
+            imm,
+        }
+    }
+
+    /// Builds a displacement load: `rd <- mem[rs + imm]`.
+    pub fn load(op: Op, rd: ArchReg, base: ArchReg, disp: i32) -> Instr {
+        Instr {
+            op,
+            rd,
+            rs: base,
+            rt: ArchReg::ZERO,
+            imm: disp,
+        }
+    }
+
+    /// Builds a displacement store: `mem[rs + imm] <- rt`.
+    pub fn store(op: Op, data: ArchReg, base: ArchReg, disp: i32) -> Instr {
+        Instr {
+            op,
+            rd: ArchReg::ZERO,
+            rs: base,
+            rt: data,
+            imm: disp,
+        }
+    }
+
+    /// Builds a conditional branch with an instruction-count offset relative
+    /// to the fall-through PC.
+    pub fn branch(op: Op, rs: ArchReg, rt: ArchReg, offset: i32) -> Instr {
+        Instr {
+            op,
+            rd: ArchReg::ZERO,
+            rs,
+            rt,
+            imm: offset,
+        }
+    }
+
+    /// The architectural destination register, if this instruction writes one.
+    ///
+    /// Writes to `$zero` are architectural no-ops and report `None`.
+    pub fn dest(&self) -> Option<ArchReg> {
+        use OpKind::*;
+        let d = match self.op.kind() {
+            IntAlu | Shift | Mul | Div | Load => self.rd,
+            Jump => match self.op {
+                Op::Jal => ArchReg::RA,
+                Op::Jalr => self.rd,
+                _ => return None,
+            },
+            Store | CondBranch | System => return None,
+        };
+        if d.is_zero() {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// The register sources of this instruction, in operand order.
+    ///
+    /// `$zero` sources are included (they are always-ready reads); at most
+    /// two sources exist for any opcode.
+    pub fn srcs(&self) -> SrcIter {
+        use Op::*;
+        let (a, b) = match self.op {
+            Add | Sub | And | Or | Xor | Nor | Slt | Sltu | Sllv | Srlv | Srav | Mul | Mulh
+            | Div | Rem | Lwx | Beq | Bne => (Some(self.rs), Some(self.rt)),
+            Sll | Srl | Sra | Addi | Andi | Ori | Xori | Slti | Sltiu | Lb | Lbu | Lh | Lhu
+            | Lw | Blez | Bgtz | Bltz | Bgez | Jr | Jalr => (Some(self.rs), None),
+            Sb | Sh | Sw => (Some(self.rs), Some(self.rt)),
+            Lui | J | Jal | Syscall | Break => (None, None),
+        };
+        SrcIter { a, b }
+    }
+
+    /// Whether this instruction reads register `r`.
+    pub fn reads(&self, r: ArchReg) -> bool {
+        self.srcs().any(|s| s == r)
+    }
+
+    /// If this instruction is an idiomatic register-to-register move, returns
+    /// the source register whose value it copies.
+    ///
+    /// The recognized idioms are the ones MIPS-family compilers emit in the
+    /// absence of an architectural move (paper §4.2): `addi/ori/xori rd, rs,
+    /// 0`, `add/sub/or/xor rd, rs, $zero`, `add/or rd, $zero, rt`,
+    /// `sll/srl/sra rd, rs, 0`, and the zero-initialization idioms (`and rd,
+    /// rs, $zero`, `andi rd, rs, 0`, `lui rd, 0`, …) which copy `$zero`.
+    ///
+    /// Instructions whose destination is `$zero` are not moves (they are
+    /// no-ops and never need a rename mapping).
+    pub fn as_register_move(&self) -> Option<ArchReg> {
+        use Op::*;
+        self.dest()?;
+        match self.op {
+            Addi | Ori | Xori if self.imm == 0 => Some(self.rs),
+            Sll | Srl | Sra if self.imm == 0 => Some(self.rs),
+            Add | Or | Xor if self.rt.is_zero() => Some(self.rs),
+            Add | Or if self.rs.is_zero() => Some(self.rt),
+            Sub if self.rt.is_zero() => Some(self.rs),
+            // Zero-initialization idioms: the "source" is $zero itself.
+            And if self.rs.is_zero() || self.rt.is_zero() => Some(ArchReg::ZERO),
+            Andi if self.imm == 0 => Some(ArchReg::ZERO),
+            Lui if self.imm == 0 => Some(ArchReg::ZERO),
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction has no architectural effect (e.g. `nop` or
+    /// any ALU op targeting `$zero`).
+    pub fn is_nop(&self) -> bool {
+        use OpKind::*;
+        matches!(self.op.kind(), IntAlu | Shift | Mul | Div) && self.rd.is_zero()
+    }
+
+    /// The taken target of a PC-relative branch or direct jump located at
+    /// `pc`, or `None` for non-control and register-indirect instructions.
+    pub fn taken_target(&self, pc: u32) -> Option<u32> {
+        if self.op.is_cond_branch() {
+            Some(
+                pc.wrapping_add(4)
+                    .wrapping_add((self.imm as u32).wrapping_mul(4)),
+            )
+        } else if matches!(self.op, Op::J | Op::Jal) {
+            Some((self.imm as u32).wrapping_mul(4))
+        } else {
+            None
+        }
+    }
+
+    /// Validates field ranges and operand roles for this instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field: an out-of-range
+    /// immediate or shift amount, or a set field the opcode does not use.
+    pub fn validate(&self) -> Result<(), String> {
+        use Op::*;
+        match self.op {
+            Sll | Srl | Sra => {
+                if !(0..32).contains(&self.imm) {
+                    return Err(format!("shift amount {} out of range 0..32", self.imm));
+                }
+            }
+            Addi | Slti | Lb | Lbu | Lh | Lhu | Lw | Sb | Sh | Sw | Beq | Bne | Blez | Bgtz
+            | Bltz | Bgez => {
+                if !(-(1 << 15)..(1 << 15)).contains(&self.imm) {
+                    return Err(format!("immediate {} exceeds signed 16 bits", self.imm));
+                }
+            }
+            Sltiu => {
+                // Comparison is unsigned but the encoded immediate is still a
+                // sign-extended 16-bit field, as in MIPS.
+                if !(-(1 << 15)..(1 << 15)).contains(&self.imm) {
+                    return Err(format!("immediate {} exceeds signed 16 bits", self.imm));
+                }
+            }
+            Andi | Ori | Xori => {
+                if !(0..(1 << 16)).contains(&self.imm) {
+                    return Err(format!("immediate {} exceeds unsigned 16 bits", self.imm));
+                }
+            }
+            Lui => {
+                // `imm` holds the already-shifted value, so only the low 16
+                // bits must be clear; any 16-bit payload is representable.
+                if self.imm & 0xffff != 0 {
+                    return Err(format!(
+                        "lui immediate {:#x} must be a left-shifted 16-bit value",
+                        self.imm
+                    ));
+                }
+            }
+            J | Jal => {
+                if !(0..(1 << 26)).contains(&self.imm) {
+                    return Err(format!("jump target field {} exceeds 26 bits", self.imm));
+                }
+            }
+            _ => {
+                if self.imm != 0 {
+                    return Err(format!("opcode {} does not take an immediate", self.op));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over the register sources of an [`Instr`], produced by
+/// [`Instr::srcs`].
+#[derive(Debug, Clone)]
+pub struct SrcIter {
+    a: Option<ArchReg>,
+    b: Option<ArchReg>,
+}
+
+impl Iterator for SrcIter {
+    type Item = ArchReg;
+
+    fn next(&mut self) -> Option<ArchReg> {
+        self.a.take().or_else(|| self.b.take())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.a.is_some() as usize + self.b.is_some() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for SrcIter {}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::disasm::fmt_instr(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u8) -> ArchReg {
+        ArchReg::gpr(n)
+    }
+
+    #[test]
+    fn move_idioms_are_detected() {
+        let cases = [
+            (Instr::alu_imm(Op::Addi, r(8), r(9), 0), Some(r(9))),
+            (Instr::alu_imm(Op::Ori, r(8), r(9), 0), Some(r(9))),
+            (Instr::alu(Op::Add, r(8), r(9), r(0)), Some(r(9))),
+            (Instr::alu(Op::Add, r(8), r(0), r(9)), Some(r(9))),
+            (Instr::alu(Op::Sub, r(8), r(9), r(0)), Some(r(9))),
+            (Instr::alu_imm(Op::Sll, r(8), r(9), 0), Some(r(9))),
+            (Instr::alu(Op::And, r(8), r(9), r(0)), Some(r(0))),
+            (Instr::alu_imm(Op::Addi, r(8), r(9), 4), None),
+            (Instr::alu(Op::Add, r(8), r(9), r(10)), None),
+            // Destination $zero: a no-op, not a move.
+            (Instr::alu_imm(Op::Addi, r(0), r(9), 0), None),
+        ];
+        for (i, expect) in cases {
+            assert_eq!(i.as_register_move(), expect, "instr: {i:?}");
+        }
+    }
+
+    #[test]
+    fn dest_and_srcs_roles() {
+        let add = Instr::alu(Op::Add, r(3), r(1), r(2));
+        assert_eq!(add.dest(), Some(r(3)));
+        assert_eq!(add.srcs().collect::<Vec<_>>(), vec![r(1), r(2)]);
+
+        let sw = Instr::store(Op::Sw, r(5), r(29), 16);
+        assert_eq!(sw.dest(), None);
+        assert_eq!(sw.srcs().collect::<Vec<_>>(), vec![r(29), r(5)]);
+
+        let jal = Instr {
+            op: Op::Jal,
+            rd: r(0),
+            rs: r(0),
+            rt: r(0),
+            imm: 0x100,
+        };
+        assert_eq!(jal.dest(), Some(ArchReg::RA));
+        assert_eq!(jal.srcs().count(), 0);
+
+        let lwx = Instr::alu(Op::Lwx, r(4), r(5), r(6));
+        assert_eq!(lwx.dest(), Some(r(4)));
+        assert_eq!(lwx.srcs().count(), 2);
+    }
+
+    #[test]
+    fn branch_targets() {
+        let b = Instr::branch(Op::Beq, r(1), r(2), -2);
+        assert_eq!(b.taken_target(0x1000), Some(0x1000 + 4 - 8));
+        let j = Instr {
+            op: Op::J,
+            rd: r(0),
+            rs: r(0),
+            rt: r(0),
+            imm: 0x40,
+        };
+        assert_eq!(j.taken_target(0xdead_0000), Some(0x100));
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        assert!(Instr::alu_imm(Op::Sll, r(1), r(2), 33).validate().is_err());
+        assert!(Instr::alu_imm(Op::Addi, r(1), r(2), 40000)
+            .validate()
+            .is_err());
+        assert!(Instr::alu_imm(Op::Andi, r(1), r(2), -1).validate().is_err());
+        assert!(Instr::alu(Op::Add, r(1), r(2), r(3)).validate().is_ok());
+        assert!(NOP.validate().is_ok());
+    }
+
+    #[test]
+    fn writes_to_zero_are_nops() {
+        assert!(NOP.is_nop());
+        assert!(Instr::alu(Op::Add, r(0), r(1), r(2)).is_nop());
+        assert!(!Instr::store(Op::Sw, r(1), r(2), 0).is_nop());
+    }
+}

@@ -1,0 +1,66 @@
+//! # tracefill-isa
+//!
+//! The **SSA** instruction set — a from-scratch, SimpleScalar-2.0-like
+//! 32-bit ISA — together with everything needed to build and run programs
+//! for it:
+//!
+//! * [`reg`] / [`op`] / [`instr`] — registers, opcodes, decoded instructions;
+//! * [`encode`] — the fixed 32-bit binary encoding;
+//! * [`asm`] — a two-pass assembler with pseudo-instructions;
+//! * [`disasm`] — textual disassembly;
+//! * [`mem`] / [`program`] — sparse memory and linked program images;
+//! * [`semantics`] — pure value semantics shared by the interpreter and the
+//!   pipeline simulator (so the two cannot disagree on arithmetic);
+//! * [`interp`] — the functional interpreter used as the architectural
+//!   oracle by the `tracefill-sim` pipeline;
+//! * [`syscall`] — the serializing system-call services.
+//!
+//! The ISA deliberately reproduces the properties the fill-unit paper
+//! (Friendly, Patel & Patt, MICRO-31 1998) relies on: no architectural
+//! register-move instruction, 16-bit immediates, short immediate shifts
+//! used for array indexing, indexed loads, and no delay slots.
+//!
+//! # Examples
+//!
+//! Assemble and run a program:
+//!
+//! ```
+//! use tracefill_isa::{asm::assemble, interp::Interp};
+//!
+//! let prog = assemble(r#"
+//!         .text
+//! main:   li   $a0, 5
+//!         jal  square
+//!         move $a0, $v1
+//!         li   $v0, 1          # print $a0
+//!         syscall
+//!         li   $v0, 10         # exit
+//!         syscall
+//! square: mul  $v1, $a0, $a0
+//!         jr   $ra
+//! "#)?;
+//! let mut cpu = Interp::new(&prog);
+//! cpu.run(1_000)?;
+//! assert_eq!(cpu.io().output, vec![25]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod asm;
+pub mod disasm;
+pub mod encode;
+pub mod instr;
+pub mod interp;
+pub mod mem;
+pub mod op;
+pub mod program;
+pub mod reg;
+pub mod semantics;
+pub mod syscall;
+
+pub use instr::Instr;
+pub use op::{Op, OpKind};
+pub use program::Program;
+pub use reg::ArchReg;

@@ -1,0 +1,176 @@
+//! Sparse byte-addressable memory.
+//!
+//! Memory is organized as 4 KiB pages allocated on first touch, so a 32-bit
+//! address space costs only what a program actually uses. All multi-byte
+//! accesses are little-endian. Unaligned accesses are supported (they are
+//! assembled byte-wise); the *simulator* charges no extra latency for them,
+//! and the assembler never produces them for word data.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
+
+/// A sparse, paged, little-endian memory.
+///
+/// # Examples
+///
+/// ```
+/// use tracefill_isa::mem::Memory;
+///
+/// let mut m = Memory::new();
+/// m.write_u32(0x1000_0000, 0xdead_beef);
+/// assert_eq!(m.read_u32(0x1000_0000), 0xdead_beef);
+/// assert_eq!(m.read_u8(0x1000_0000), 0xef); // little-endian
+/// assert_eq!(m.read_u32(0x2000_0000), 0);   // untouched memory reads zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory; every byte reads as zero until written.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of distinct pages that have been written.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u32, val: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = val;
+    }
+
+    /// Reads a little-endian 16-bit value.
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+    }
+
+    /// Writes a little-endian 16-bit value.
+    pub fn write_u16(&mut self, addr: u32, val: u16) {
+        for (i, b) in val.to_le_bytes().into_iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Reads a little-endian 32-bit value.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        // Fast path: the whole word lives in one page.
+        let off = (addr & PAGE_MASK) as usize;
+        if off + 4 <= PAGE_SIZE {
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(p) => u32::from_le_bytes(p[off..off + 4].try_into().unwrap()),
+                None => 0,
+            }
+        } else {
+            u32::from_le_bytes([
+                self.read_u8(addr),
+                self.read_u8(addr.wrapping_add(1)),
+                self.read_u8(addr.wrapping_add(2)),
+                self.read_u8(addr.wrapping_add(3)),
+            ])
+        }
+    }
+
+    /// Writes a little-endian 32-bit value.
+    pub fn write_u32(&mut self, addr: u32, val: u32) {
+        let off = (addr & PAGE_MASK) as usize;
+        if off + 4 <= PAGE_SIZE {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+            page[off..off + 4].copy_from_slice(&val.to_le_bytes());
+        } else {
+            for (i, b) in val.to_le_bytes().into_iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), b);
+            }
+        }
+    }
+
+    /// Reads `size` (1, 2 or 4) bytes as a zero-extended value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 2 or 4.
+    pub fn read_sized(&self, addr: u32, size: u32) -> u32 {
+        match size {
+            1 => self.read_u8(addr) as u32,
+            2 => self.read_u16(addr) as u32,
+            4 => self.read_u32(addr),
+            _ => panic!("unsupported access size {size}"),
+        }
+    }
+
+    /// Writes the low `size` (1, 2 or 4) bytes of `val`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 2 or 4.
+    pub fn write_sized(&mut self, addr: u32, size: u32, val: u32) {
+        match size {
+            1 => self.write_u8(addr, val as u8),
+            2 => self.write_u16(addr, val as u16),
+            4 => self.write_u32(addr, val),
+            _ => panic!("unsupported access size {size}"),
+        }
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endianness_and_sparsity() {
+        let mut m = Memory::new();
+        m.write_u32(0x100, 0x0403_0201);
+        assert_eq!(m.read_u8(0x100), 1);
+        assert_eq!(m.read_u8(0x103), 4);
+        assert_eq!(m.read_u16(0x102), 0x0403);
+        assert_eq!(m.resident_pages(), 1);
+    }
+
+    #[test]
+    fn cross_page_word() {
+        let mut m = Memory::new();
+        let addr = 0x1ffe; // spans pages 1 and 2
+        m.write_u32(addr, 0xaabb_ccdd);
+        assert_eq!(m.read_u32(addr), 0xaabb_ccdd);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn sized_accessors_match_fixed() {
+        let mut m = Memory::new();
+        m.write_sized(8, 2, 0x1234_5678);
+        assert_eq!(m.read_sized(8, 2), 0x5678);
+        assert_eq!(m.read_sized(8, 1), 0x78);
+        m.write_sized(16, 4, 7);
+        assert_eq!(m.read_u32(16), 7);
+    }
+}

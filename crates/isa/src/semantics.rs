@@ -1,0 +1,179 @@
+//! Pure value semantics of SSA operations.
+//!
+//! Both the functional interpreter (the architectural oracle) and the
+//! out-of-order pipeline's execute stage call these functions, so the two
+//! cannot diverge on arithmetic. All arithmetic wraps; divide-by-zero is
+//! defined to produce zero (the SSA ISA has no arithmetic traps, which keeps
+//! wrong-path execution total).
+
+use crate::op::Op;
+
+/// Computes the result of a non-memory, non-control operation.
+///
+/// `a` and `b` are the values of the first and second register sources (the
+/// second is ignored by immediate forms) and `imm` is the instruction's
+/// already-extended immediate.
+///
+/// # Panics
+///
+/// Panics if `op` is a memory, control or system opcode — those do not have
+/// a pure ALU result; use [`effective_addr`] / [`branch_taken`] instead.
+pub fn alu_result(op: Op, a: u32, b: u32, imm: i32) -> u32 {
+    use Op::*;
+    match op {
+        Add => a.wrapping_add(b),
+        Sub => a.wrapping_sub(b),
+        And => a & b,
+        Or => a | b,
+        Xor => a ^ b,
+        Nor => !(a | b),
+        Slt => ((a as i32) < (b as i32)) as u32,
+        Sltu => (a < b) as u32,
+        Sllv => a.wrapping_shl(b & 0x1f),
+        Srlv => a.wrapping_shr(b & 0x1f),
+        Srav => (a as i32).wrapping_shr(b & 0x1f) as u32,
+        Mul => a.wrapping_mul(b),
+        Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+        Div => {
+            if b == 0 {
+                0
+            } else if a as i32 == i32::MIN && b as i32 == -1 {
+                a // wrapping overflow case
+            } else {
+                ((a as i32) / (b as i32)) as u32
+            }
+        }
+        Rem => {
+            if b == 0 || (a as i32 == i32::MIN && b as i32 == -1) {
+                0
+            } else {
+                ((a as i32) % (b as i32)) as u32
+            }
+        }
+        Sll => a.wrapping_shl(imm as u32 & 0x1f),
+        Srl => a.wrapping_shr(imm as u32 & 0x1f),
+        Sra => (a as i32).wrapping_shr(imm as u32 & 0x1f) as u32,
+        Addi => a.wrapping_add(imm as u32),
+        Andi => a & imm as u32,
+        Ori => a | imm as u32,
+        Xori => a ^ imm as u32,
+        Slti => ((a as i32) < imm) as u32,
+        Sltiu => (a < imm as u32) as u32,
+        Lui => imm as u32,
+        _ => panic!("{op} has no pure ALU result"),
+    }
+}
+
+/// Whether a conditional branch is taken given its source values.
+///
+/// # Panics
+///
+/// Panics if `op` is not a conditional branch.
+pub fn branch_taken(op: Op, a: u32, b: u32) -> bool {
+    use Op::*;
+    match op {
+        Beq => a == b,
+        Bne => a != b,
+        Blez => (a as i32) <= 0,
+        Bgtz => (a as i32) > 0,
+        Bltz => (a as i32) < 0,
+        Bgez => (a as i32) >= 0,
+        _ => panic!("{op} is not a conditional branch"),
+    }
+}
+
+/// The effective address of a memory operation given its operand values.
+///
+/// For displacement forms this is `base + imm`; for the indexed load `LWX`
+/// it is `rs + rt`.
+///
+/// # Panics
+///
+/// Panics if `op` is not a load or store.
+pub fn effective_addr(op: Op, base: u32, index: u32, imm: i32) -> u32 {
+    use Op::*;
+    match op {
+        Lb | Lbu | Lh | Lhu | Lw | Sb | Sh | Sw => base.wrapping_add(imm as u32),
+        Lwx => base.wrapping_add(index),
+        _ => panic!("{op} is not a memory operation"),
+    }
+}
+
+/// Sign- or zero-extends a loaded value per the load opcode.
+///
+/// # Panics
+///
+/// Panics if `op` is not a load.
+pub fn extend_load(op: Op, raw: u32) -> u32 {
+    use Op::*;
+    match op {
+        Lb => raw as u8 as i8 as i32 as u32,
+        Lbu => raw as u8 as u32,
+        Lh => raw as u16 as i16 as i32 as u32,
+        Lhu => raw as u16 as u32,
+        Lw | Lwx => raw,
+        _ => panic!("{op} is not a load"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_vs_unsigned_compares() {
+        assert_eq!(alu_result(Op::Slt, 0xffff_ffff, 0, 0), 1); // -1 < 0
+        assert_eq!(alu_result(Op::Sltu, 0xffff_ffff, 0, 0), 0);
+        assert_eq!(alu_result(Op::Slti, 0xffff_ffff, 0, 0), 1);
+        assert_eq!(alu_result(Op::Sltiu, 1, 0, -1), 1); // imm sign-extends to 0xffffffff
+    }
+
+    #[test]
+    fn division_is_total() {
+        assert_eq!(alu_result(Op::Div, 7, 0, 0), 0);
+        assert_eq!(alu_result(Op::Rem, 7, 0, 0), 0);
+        assert_eq!(alu_result(Op::Div, i32::MIN as u32, -1i32 as u32, 0), i32::MIN as u32);
+        assert_eq!(alu_result(Op::Rem, i32::MIN as u32, -1i32 as u32, 0), 0);
+        assert_eq!(alu_result(Op::Div, -7i32 as u32, 2, 0), -3i32 as u32);
+    }
+
+    #[test]
+    fn mulh_matches_wide_multiply() {
+        let a = 0x7fff_ffffu32;
+        let b = 0x0000_1000u32;
+        let wide = (a as i32 as i64) * (b as i32 as i64);
+        assert_eq!(alu_result(Op::Mulh, a, b, 0), (wide >> 32) as u32);
+        assert_eq!(alu_result(Op::Mul, a, b, 0), wide as u32);
+    }
+
+    #[test]
+    fn shifts_mask_their_amounts() {
+        assert_eq!(alu_result(Op::Sllv, 1, 33, 0), 2);
+        assert_eq!(alu_result(Op::Sra, 0x8000_0000, 0, 4), 0xf800_0000);
+    }
+
+    #[test]
+    fn branch_predicates() {
+        assert!(branch_taken(Op::Beq, 5, 5));
+        assert!(!branch_taken(Op::Bne, 5, 5));
+        assert!(branch_taken(Op::Bltz, -1i32 as u32, 0));
+        assert!(branch_taken(Op::Bgez, 0, 0));
+        assert!(!branch_taken(Op::Bgtz, 0, 0));
+        assert!(branch_taken(Op::Blez, 0, 0));
+    }
+
+    #[test]
+    fn load_extension() {
+        assert_eq!(extend_load(Op::Lb, 0x80), 0xffff_ff80);
+        assert_eq!(extend_load(Op::Lbu, 0x80), 0x80);
+        assert_eq!(extend_load(Op::Lh, 0x8000), 0xffff_8000);
+        assert_eq!(extend_load(Op::Lhu, 0x8000), 0x8000);
+    }
+
+    #[test]
+    fn effective_addr_forms() {
+        assert_eq!(effective_addr(Op::Lw, 100, 999, -4), 96);
+        assert_eq!(effective_addr(Op::Lwx, 100, 28, 0), 128);
+        assert_eq!(effective_addr(Op::Sw, u32::MAX, 0, 1), 0);
+    }
+}

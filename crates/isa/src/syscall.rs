@@ -1,0 +1,126 @@
+//! System-call services and their shared implementation.
+//!
+//! `SYSCALL` is a serializing instruction: the pipeline drains before it
+//! executes and the fill unit terminates trace segments at it. The service
+//! number is taken from `$v0` and the argument from `$a0`. Both the
+//! functional interpreter and the pipeline simulator execute services
+//! through [`execute`] on their own [`IoCtx`], so observable I/O behaviour
+//! is identical by construction.
+
+use crate::reg::ArchReg;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Service numbers (in `$v0`) understood by `SYSCALL`.
+pub mod service {
+    /// Append `$a0` to the output channel.
+    pub const PRINT_INT: u32 = 1;
+    /// Pop the next value from the input channel into `$v0` (0 when empty).
+    pub const READ_INT: u32 = 5;
+    /// Terminate the program with exit code `$a0`.
+    pub const EXIT: u32 = 10;
+}
+
+/// Input/output channels a program interacts with through `SYSCALL`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoCtx {
+    /// Values `READ_INT` will return, in order.
+    pub input: VecDeque<u32>,
+    /// Values `PRINT_INT` has emitted, in order.
+    pub output: Vec<u32>,
+}
+
+impl IoCtx {
+    /// Creates an I/O context with the given input stream.
+    pub fn with_input<I: IntoIterator<Item = u32>>(input: I) -> IoCtx {
+        IoCtx {
+            input: input.into_iter().collect(),
+            output: Vec::new(),
+        }
+    }
+}
+
+/// Architecturally visible outcome of one `SYSCALL`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyscallOutcome {
+    /// Register written by the service, if any (always `$v0` today).
+    pub reg_write: Option<(ArchReg, u32)>,
+    /// Exit code when the service terminates the program.
+    pub exit: Option<u32>,
+}
+
+/// Error for a `SYSCALL` with an unknown service number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownService {
+    /// The unrecognized `$v0` value.
+    pub service: u32,
+}
+
+impl std::fmt::Display for UnknownService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown syscall service {}", self.service)
+    }
+}
+
+impl std::error::Error for UnknownService {}
+
+/// Executes one system call.
+///
+/// # Errors
+///
+/// Returns [`UnknownService`] when `service` is not one of the numbers in
+/// [`service`].
+pub fn execute(service: u32, a0: u32, io: &mut IoCtx) -> Result<SyscallOutcome, UnknownService> {
+    match service {
+        service::PRINT_INT => {
+            io.output.push(a0);
+            Ok(SyscallOutcome {
+                reg_write: None,
+                exit: None,
+            })
+        }
+        service::READ_INT => {
+            let v = io.input.pop_front().unwrap_or(0);
+            Ok(SyscallOutcome {
+                reg_write: Some((ArchReg::V0, v)),
+                exit: None,
+            })
+        }
+        service::EXIT => Ok(SyscallOutcome {
+            reg_write: None,
+            exit: Some(a0),
+        }),
+        _ => Err(UnknownService { service }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_and_read() {
+        let mut io = IoCtx::with_input([7, 8]);
+        let out = execute(service::PRINT_INT, 42, &mut io).unwrap();
+        assert_eq!(out.reg_write, None);
+        assert_eq!(io.output, vec![42]);
+
+        let out = execute(service::READ_INT, 0, &mut io).unwrap();
+        assert_eq!(out.reg_write, Some((ArchReg::V0, 7)));
+        let out = execute(service::READ_INT, 0, &mut io).unwrap();
+        assert_eq!(out.reg_write, Some((ArchReg::V0, 8)));
+        // Exhausted input reads zero.
+        let out = execute(service::READ_INT, 0, &mut io).unwrap();
+        assert_eq!(out.reg_write, Some((ArchReg::V0, 0)));
+    }
+
+    #[test]
+    fn exit_and_unknown() {
+        let mut io = IoCtx::default();
+        assert_eq!(
+            execute(service::EXIT, 3, &mut io).unwrap().exit,
+            Some(3)
+        );
+        assert!(execute(99, 0, &mut io).is_err());
+    }
+}

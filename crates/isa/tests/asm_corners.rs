@@ -1,0 +1,133 @@
+//! Assembler corner cases: error reporting, directives, pseudo expansion
+//! edges, and symbol arithmetic.
+
+use tracefill_isa::asm::assemble;
+use tracefill_isa::encode::decode;
+use tracefill_isa::program::{DATA_BASE, TEXT_BASE};
+use tracefill_isa::Op;
+
+#[test]
+fn error_lines_are_precise() {
+    let cases: &[(&str, usize, &str)] = &[
+        ("\n\n        bogus $t0\n", 3, "unknown mnemonic"),
+        (".text\naddi $t0, $t1\n", 2, "takes 3 operand"),
+        (".text\naddi $t0, $t1, $t2, $t3\n", 2, "takes 3 operand"),
+        (".text\nlw $t0, $t1\n", 2, "disp(base)"),
+        (".text\nsll $t0, $t1, 32\n", 2, "out of range"),
+        (".text\nlui $t0, 65536\n", 2, "exceeds 16 bits"),
+        (".text\nj 0x2\n", 2, "not word aligned"),
+        (".data\nadd $t0, $t1, $t2\n", 2, "only allowed in .text"),
+        (".text\n.word oops\n", 2, "undefined symbol"),
+        (".text\n.frobnicate 3\n", 2, "unknown directive"),
+        (".text\nli $t0, somewhere\n", 2, "literal immediate"),
+    ];
+    for (src, line, needle) in cases {
+        let e = assemble(src).expect_err(src);
+        assert_eq!(e.line, *line, "wrong line for {src:?}: {e}");
+        assert!(
+            e.msg.contains(needle),
+            "expected `{needle}` in `{}` for {src:?}",
+            e.msg
+        );
+    }
+}
+
+#[test]
+fn branch_range_limits_are_enforced() {
+    // A branch 40000 instructions forward exceeds the 16-bit word offset.
+    let mut src = String::from("        .text\nmain:   beq $t0, $t1, far\n");
+    for _ in 0..40_000 {
+        src.push_str("        nop\n");
+    }
+    src.push_str("far:    nop\n");
+    let e = assemble(&src).unwrap_err();
+    assert!(e.msg.contains("out of range"), "{e}");
+}
+
+#[test]
+fn symbol_arithmetic_in_operands() {
+    let p = assemble(
+        r#"
+        .text
+main:   lw   $t0, 4($s0)
+        .data
+base:   .word 1, 2, 3
+mid:    .word base+8, mid-4
+"#,
+    )
+    .unwrap();
+    let mem = p.load();
+    assert_eq!(mem.read_u32(DATA_BASE + 12), DATA_BASE + 8);
+    assert_eq!(mem.read_u32(DATA_BASE + 16), DATA_BASE + 8);
+}
+
+#[test]
+fn sections_can_be_revisited_and_placed() {
+    let p = assemble(
+        r#"
+        .text
+main:   nop
+        .data 0x20000000
+far:    .word 7
+        .text
+more:   nop
+"#,
+    )
+    .unwrap();
+    assert_eq!(p.symbol("far"), Some(0x2000_0000));
+    // The second .text continues after the first.
+    assert_eq!(p.symbol("more"), Some(TEXT_BASE + 4));
+}
+
+#[test]
+fn pseudo_li_boundary_values() {
+    // Exactly representable as addi / ori / requiring lui+ori.
+    let p = assemble(
+        "        .text\nmain:   li $t0, 32767\n        li $t1, -32768\n        li $t2, 65535\n        li $t3, 65536\n",
+    )
+    .unwrap();
+    let ops: Vec<Op> = p.text_words().map(|(_, w)| decode(w).unwrap().op).collect();
+    assert_eq!(
+        ops,
+        vec![Op::Addi, Op::Addi, Op::Ori, Op::Lui, Op::Ori]
+    );
+    // Values must survive the expansion.
+    let mut i = tracefill_isa::interp::Interp::new(&p);
+    for _ in 0..5 {
+        i.step().unwrap();
+    }
+    assert_eq!(i.reg(tracefill_isa::ArchReg::gpr(8)), 32767);
+    assert_eq!(i.reg(tracefill_isa::ArchReg::gpr(9)), (-32768i32) as u32);
+    assert_eq!(i.reg(tracefill_isa::ArchReg::gpr(10)), 65535);
+    assert_eq!(i.reg(tracefill_isa::ArchReg::gpr(11)), 65536);
+}
+
+#[test]
+fn comments_and_blank_lines_are_free() {
+    let p = assemble(
+        "# header comment\n;another\n\n        .text\nmain:   nop  # trailing\n        nop  ; both styles\n",
+    )
+    .unwrap();
+    assert_eq!(p.text_len(), 2);
+}
+
+#[test]
+fn labels_stack_on_one_address() {
+    let p = assemble("        .text\na: b: c: nop\n").unwrap();
+    assert_eq!(p.symbol("a"), p.symbol("b"));
+    assert_eq!(p.symbol("b"), p.symbol("c"));
+}
+
+#[test]
+fn entry_defaults_to_first_text_without_main() {
+    let p = assemble("        .text\nstart:  nop\n").unwrap();
+    assert_eq!(p.entry, TEXT_BASE);
+}
+
+#[test]
+fn jalr_accepts_one_or_two_operands() {
+    let p = assemble("        .text\nmain:   jalr $t0\n        jalr $t1, $t2\n").unwrap();
+    let instrs: Vec<_> = p.text_words().map(|(_, w)| decode(w).unwrap()).collect();
+    assert_eq!(instrs[0].rd, tracefill_isa::ArchReg::RA);
+    assert_eq!(instrs[1].rd, tracefill_isa::ArchReg::gpr(9));
+}

@@ -1,0 +1,292 @@
+//! ISA conformance: every opcode executed through the full pipeline —
+//! assembler → encoder → loader → interpreter — with checked results.
+//!
+//! Each case is a small program that computes through one opcode (or one
+//! corner of its semantics) and prints the result; the expected values
+//! are computed independently in Rust.
+
+use tracefill_isa::asm::assemble;
+use tracefill_isa::interp::Interp;
+use tracefill_isa::syscall::IoCtx;
+
+/// Runs a program and returns its printed output.
+fn outputs(src: &str) -> Vec<u32> {
+    outputs_with(src, &[])
+}
+
+fn outputs_with(src: &str, input: &[u32]) -> Vec<u32> {
+    let prog = assemble(src).unwrap_or_else(|e| panic!("assembly failed: {e}"));
+    let mut i = Interp::with_io(&prog, IoCtx::with_input(input.iter().copied()));
+    i.run(1_000_000).unwrap_or_else(|e| panic!("run failed: {e}"));
+    i.io().output.clone()
+}
+
+/// One-instruction ALU checks: computes `op` over two loaded constants.
+fn check_alu3(op: &str, a: u32, b: u32, expect: u32) {
+    let src = format!(
+        r#"
+        .text
+main:   li   $t0, {a}
+        li   $t1, {b}
+        {op}  $a0, $t0, $t1
+        li   $v0, 1
+        syscall
+        li   $a0, 0
+        li   $v0, 10
+        syscall
+"#,
+        a = a as i64,
+        b = b as i64,
+    );
+    assert_eq!(outputs(&src), vec![expect], "{op} {a:#x},{b:#x}");
+}
+
+#[test]
+fn three_register_alu_semantics() {
+    check_alu3("add", 7, 9, 16);
+    check_alu3("add", u32::MAX, 1, 0); // wraps
+    check_alu3("sub", 5, 9, (-4i32) as u32);
+    check_alu3("and", 0xff00_f0f0, 0x0ff0_ffff, 0x0f00_f0f0);
+    check_alu3("or", 0xff00_0000, 0x0000_00ff, 0xff00_00ff);
+    check_alu3("xor", 0xaaaa_aaaa, 0xffff_ffff, 0x5555_5555);
+    check_alu3("nor", 0xf0f0_f0f0, 0x0f0f_0f0f, 0);
+    check_alu3("slt", (-1i32) as u32, 0, 1);
+    check_alu3("slt", 0, (-1i32) as u32, 0);
+    check_alu3("sltu", (-1i32) as u32, 0, 0); // unsigned: MAX not < 0
+    check_alu3("sltu", 0, 1, 1);
+    check_alu3("sllv", 1, 5, 32);
+    check_alu3("sllv", 1, 37, 32); // amount masked to 5 bits
+    check_alu3("srlv", 0x8000_0000, 31, 1);
+    check_alu3("srav", 0x8000_0000, 31, 0xffff_ffff);
+    check_alu3("mul", 100_000, 100_000, 100_000u64.pow(2) as u32);
+    check_alu3(
+        "mulh",
+        100_000,
+        100_000,
+        ((100_000i64 * 100_000i64) >> 32) as u32,
+    );
+    check_alu3("mulh", (-2i32) as u32, 3, 0xffff_ffff); // negative high word
+    check_alu3("div", (-7i32) as u32, 2, (-3i32) as u32); // trunc toward zero
+    check_alu3("div", 7, 0, 0); // defined: no trap
+    check_alu3("rem", (-7i32) as u32, 2, (-1i32) as u32);
+    check_alu3("rem", i32::MIN as u32, (-1i32) as u32, 0);
+}
+
+#[test]
+fn immediate_alu_semantics() {
+    let src = r#"
+        .text
+main:   li   $t0, 1000
+        addi $a0, $t0, -1500     # sign-extended immediate
+        li   $v0, 1
+        syscall
+        andi $a0, $t0, 0xff      # zero-extended immediate
+        li   $v0, 1
+        syscall
+        ori  $a0, $zero, 0xabc
+        li   $v0, 1
+        syscall
+        xori $a0, $t0, 0xfff
+        li   $v0, 1
+        syscall
+        slti $a0, $t0, 1001
+        li   $v0, 1
+        syscall
+        sltiu $a0, $t0, -1       # imm sign-extends then compares unsigned
+        li   $v0, 1
+        syscall
+        lui  $a0, 0x1234
+        li   $v0, 1
+        syscall
+        li   $a0, 0
+        li   $v0, 10
+        syscall
+"#;
+    assert_eq!(
+        outputs(src),
+        vec![
+            (-500i32) as u32,
+            1000 & 0xff,
+            0xabc,
+            1000 ^ 0xfff,
+            1,
+            1, // 1000 < 0xffffffff unsigned
+            0x1234 << 16,
+        ]
+    );
+}
+
+#[test]
+fn shift_immediate_semantics() {
+    let src = r#"
+        .text
+main:   li   $t0, 0x80000001
+        sll  $a0, $t0, 4
+        li   $v0, 1
+        syscall
+        srl  $a0, $t0, 4
+        li   $v0, 1
+        syscall
+        sra  $a0, $t0, 4
+        li   $v0, 1
+        syscall
+        li   $a0, 0
+        li   $v0, 10
+        syscall
+"#;
+    assert_eq!(
+        outputs(src),
+        vec![0x0000_0010, 0x0800_0000, 0xf800_0000]
+    );
+}
+
+#[test]
+fn load_store_semantics_all_sizes() {
+    let src = r#"
+        .text
+main:   la   $s0, buf
+        li   $t0, 0x81828384
+        sw   $t0, 0($s0)
+        lw   $a0, 0($s0)
+        li   $v0, 1
+        syscall
+        lb   $a0, 0($s0)         # 0x84 sign-extends
+        li   $v0, 1
+        syscall
+        lbu  $a0, 3($s0)         # 0x81 zero-extends
+        li   $v0, 1
+        syscall
+        lh   $a0, 0($s0)         # 0x8384 sign-extends
+        li   $v0, 1
+        syscall
+        lhu  $a0, 2($s0)
+        li   $v0, 1
+        syscall
+        sb   $zero, 1($s0)       # punch out one byte
+        lw   $a0, 0($s0)
+        li   $v0, 1
+        syscall
+        sh   $zero, 2($s0)
+        lw   $a0, 0($s0)
+        li   $v0, 1
+        syscall
+        li   $t1, 4
+        lwx  $a0, $s0, $t1       # indexed load of the next word
+        li   $v0, 1
+        syscall
+        li   $a0, 0
+        li   $v0, 10
+        syscall
+        .data
+buf:    .word 0, 0xc0ffee
+"#;
+    assert_eq!(
+        outputs(src),
+        vec![
+            0x8182_8384,
+            0xffff_ff84,
+            0x81,
+            0xffff_8384,
+            0x8182,
+            0x8182_0084,
+            0x0000_0084,
+            0xc0ffee,
+        ]
+    );
+}
+
+#[test]
+fn branch_semantics_each_direction() {
+    // Each branch opcode tested on its taken and not-taken side.
+    let src = r#"
+        .text
+main:   li   $s0, 0
+        li   $t0, 5
+        li   $t1, 5
+        beq  $t0, $t1, a1       # taken
+        j    fail
+a1:     bne  $t0, $t1, fail     # not taken
+        ori  $s0, $s0, 1
+        li   $t2, -3
+        bltz $t2, a2            # taken
+        j    fail
+a2:     bgez $t2, fail          # not taken
+        ori  $s0, $s0, 2
+        blez $zero, a3          # taken (zero)
+        j    fail
+a3:     bgtz $zero, fail        # not taken (zero)
+        ori  $s0, $s0, 4
+        move $a0, $s0
+        li   $v0, 1
+        syscall
+        li   $a0, 0
+        li   $v0, 10
+        syscall
+fail:   li   $a0, 999
+        li   $v0, 1
+        syscall
+        break
+"#;
+    assert_eq!(outputs(src), vec![7]);
+}
+
+#[test]
+fn jumps_and_links() {
+    let src = r#"
+        .text
+main:   jal  f                  # link in $ra
+        move $a0, $v1
+        li   $v0, 1
+        syscall
+        la   $t0, g
+        jalr $t1, $t0           # link in $t1, call via register
+        move $a0, $v1
+        li   $v0, 1
+        syscall
+        li   $a0, 0
+        li   $v0, 10
+        syscall
+f:      li   $v1, 41
+        jr   $ra
+g:      li   $v1, 42
+        jr   $t1
+"#;
+    assert_eq!(outputs(src), vec![41, 42]);
+}
+
+#[test]
+fn read_int_exhaustion_returns_zero() {
+    let src = r#"
+        .text
+main:   li   $v0, 5
+        syscall
+        move $a0, $v0
+        li   $v0, 1
+        syscall
+        li   $v0, 5
+        syscall                 # input exhausted -> 0
+        move $a0, $v0
+        li   $v0, 1
+        syscall
+        li   $a0, 0
+        li   $v0, 10
+        syscall
+"#;
+    assert_eq!(outputs_with(src, &[77]), vec![77, 0]);
+}
+
+#[test]
+fn zero_register_is_immutable() {
+    let src = r#"
+        .text
+main:   li   $t0, 123
+        add  $zero, $t0, $t0    # architecturally dropped
+        move $a0, $zero
+        li   $v0, 1
+        syscall
+        li   $a0, 0
+        li   $v0, 10
+        syscall
+"#;
+    assert_eq!(outputs(src), vec![0]);
+}

@@ -1,0 +1,333 @@
+//! Schedule/execute stage: per-FU selection, the conservative memory
+//! scheduler, value computation, and the completion phase that resolves
+//! branches.
+
+use crate::machine::Simulator;
+use crate::physreg::NEVER;
+use crate::uop::{UopId, UopState};
+use tracefill_isa::op::OpKind;
+use tracefill_isa::semantics::{alu_result, branch_taken, effective_addr, extend_load};
+use tracefill_uarch::hierarchy::Side;
+
+/// What the memory scheduler allows a ready load to do.
+enum LoadAction {
+    /// Forward this value from an in-flight store.
+    Forward(u32),
+    /// Access the data cache.
+    Memory,
+    /// Not yet: an older store blocks it.
+    Blocked,
+}
+
+impl Simulator {
+    /// Completion phase: results whose latency elapsed become visible and
+    /// branches resolve (oldest first, so an older recovery squashes the
+    /// younger completions before they act).
+    pub(crate) fn phase_complete(&mut self) {
+        let Some(ids) = self.completions.remove(&self.cycle) else {
+            return;
+        };
+        let mut ids = ids;
+        ids.sort_unstable();
+        for id in ids {
+            // The uop may have been squashed since it started executing.
+            let Some(u) = self.uops.get_mut(&id) else {
+                continue;
+            };
+            if !matches!(u.state, UopState::Executing { done } if done == self.cycle) {
+                continue;
+            }
+            u.state = UopState::Done;
+            let is_branch = u.branch.is_some() && (u.op.is_cond_branch() || u.op.is_indirect());
+            let trace_id = u.id;
+            let inactive = u.inactive;
+            if self.trace.enabled() {
+                self.trace
+                    .push(self.cycle, crate::tracelog::Event::Complete { uop: trace_id });
+            }
+            if is_branch {
+                if let Some(b) = self.uops.get_mut(&id).and_then(|u| u.branch.as_mut()) {
+                    b.resolved = true;
+                }
+                if !inactive {
+                    self.resolve_branch(id);
+                }
+                // Inactive branches just record their outcome; activation
+                // acts on it.
+            }
+        }
+    }
+
+    /// Acts on a resolved active branch: recovery, shadow activation or
+    /// shadow discard.
+    pub(crate) fn resolve_branch(&mut self, id: UopId) {
+        let u = &self.uops[&id];
+        let b = u.branch.as_ref().expect("resolved uop is a branch");
+        if u.op.is_cond_branch() {
+            let actual = b.actual_taken.expect("resolved branch has outcome");
+            let predicted = b.pred_taken.expect("fetched branch was predicted");
+            if actual == predicted {
+                // Correct prediction: discard any shadow.
+                self.drop_shadow(id);
+                return;
+            }
+            // Mispredicted. If the trace's embedded path was right and its
+            // blocks were issued inactively, activate them instead of
+            // refetching (paper §3, inactive issue).
+            let has_matching_shadow = self
+                .shadows
+                .get(&id)
+                .is_some_and(|_| b.embedded == Some(actual));
+            if has_matching_shadow {
+                self.activate_shadow(id);
+            } else {
+                let redirect = b.actual_next.expect("resolved branch has next pc");
+                self.recover_at(id, redirect);
+            }
+        } else {
+            // Indirect jump: compare targets.
+            let actual = b.actual_next.expect("resolved indirect has target");
+            let predicted = b.pred_target.unwrap_or(actual.wrapping_add(4));
+            if actual != predicted {
+                self.recover_at(id, actual);
+            }
+        }
+    }
+
+    /// Execute phase: address pre-generation for stores, then per-FU
+    /// select-and-execute of the oldest ready uop.
+    pub(crate) fn phase_execute(&mut self) {
+        // Stores publish their addresses as soon as the base register is
+        // available (a dedicated AGEN port, as in machines that split
+        // stores into address and data uops). The conservative scheduler
+        // ("no memory operation bypasses a store with an unknown address")
+        // depends on addresses appearing promptly.
+        let now = self.cycle;
+        let store_ids: Vec<UopId> = self
+            .lsq
+            .iter()
+            .copied()
+            .filter(|id| {
+                self.uops
+                    .get(id)
+                    .is_some_and(|u| u.mem.as_ref().is_some_and(|m| !m.is_load && m.addr.is_none()))
+            })
+            .collect();
+        for id in store_ids {
+            let u = &self.uops[&id];
+            let cluster = self.cluster_of(u.fu);
+            let base_ok = u.srcs[0]
+                .map(|p| self.phys.avail_at(p, cluster) <= now)
+                .unwrap_or(true);
+            if base_ok {
+                let base = u.srcs[0].map(|p| self.phys.value(p)).unwrap_or(0);
+                let base = self.apply_scadd(&self.uops[&id], 0, base);
+                let addr = effective_addr(u.op, base, 0, u.imm);
+                self.uops.get_mut(&id).unwrap().mem.as_mut().unwrap().addr = Some(addr);
+            }
+        }
+
+        // Per-FU select: oldest ready entry.
+        for fu in 0..self.rs.len() {
+            let mut best: Option<UopId> = None;
+            for &id in &self.rs[fu] {
+                let Some(u) = self.uops.get(&id) else { continue };
+                if u.state != UopState::Waiting || u.mem_deferred {
+                    continue;
+                }
+                if !self.srcs_ready(id) {
+                    continue;
+                }
+                if u.mem.as_ref().is_some_and(|m| m.is_load)
+                    && matches!(self.load_action(id), LoadAction::Blocked)
+                {
+                    continue;
+                }
+                if best.is_none_or(|b| id < b) {
+                    best = Some(id);
+                }
+            }
+            if let Some(id) = best {
+                self.execute_uop(id);
+                self.rs[fu].retain(|&x| x != id);
+            }
+        }
+    }
+
+    /// Whether all operands are available at the uop's cluster this cycle.
+    fn srcs_ready(&self, id: UopId) -> bool {
+        let u = &self.uops[&id];
+        let cluster = self.cluster_of(u.fu);
+        u.srcs
+            .iter()
+            .flatten()
+            .all(|&p| self.phys.avail_at(p, cluster) <= self.cycle)
+    }
+
+    /// The scaled-add shift, applied to operand `k`'s value if annotated.
+    fn apply_scadd(&self, u: &crate::uop::Uop, k: u8, v: u32) -> u32 {
+        match u.scadd {
+            Some(sc) if sc.src == k => v.wrapping_shl(sc.shift as u32),
+            _ => v,
+        }
+    }
+
+    /// Decides what a ready load may do under the conservative scheduler.
+    fn load_action(&self, id: UopId) -> LoadAction {
+        let u = &self.uops[&id];
+        let m = u.mem.as_ref().expect("load has memory state");
+        // Compute the load's address from its (ready) sources.
+        let a = self.apply_scadd(u, 0, u.srcs[0].map(|p| self.phys.value(p)).unwrap_or(0));
+        let b = self.apply_scadd(u, 1, u.srcs[1].map(|p| self.phys.value(p)).unwrap_or(0));
+        let addr = effective_addr(u.op, a, b, u.imm);
+        let lo = addr;
+        let hi = addr.wrapping_add(m.size);
+
+        // Scan older in-flight memory ops; the youngest overlapping store
+        // decides.
+        let mut verdict = LoadAction::Memory;
+        for &other_id in &self.lsq {
+            if other_id == id {
+                break;
+            }
+            let Some(o) = self.uops.get(&other_id) else { continue };
+            let Some(om) = o.mem.as_ref() else { continue };
+            if om.is_load {
+                continue;
+            }
+            let Some(oaddr) = om.addr else {
+                // Unknown older store address blocks every younger access.
+                return LoadAction::Blocked;
+            };
+            let olo = oaddr;
+            let ohi = oaddr.wrapping_add(om.size);
+            let overlap = olo < hi && lo < ohi;
+            if !overlap {
+                continue;
+            }
+            if oaddr == addr && om.size == m.size {
+                if o.state == UopState::Done {
+                    verdict = LoadAction::Forward(om.value);
+                } else {
+                    // Exact match but data not captured yet.
+                    verdict = LoadAction::Blocked;
+                }
+            } else {
+                // Partial overlap: wait until the store retires (it will
+                // then have left the LSQ).
+                verdict = LoadAction::Blocked;
+            }
+        }
+        verdict
+    }
+
+    /// Begins execution of a ready uop on its functional unit.
+    fn execute_uop(&mut self, id: UopId) {
+        let now = self.cycle;
+        let u = &self.uops[&id];
+        let cluster = self.cluster_of(u.fu);
+
+        // Bypass-delay accounting (Figure 7): did the last-arriving operand
+        // pay a cross-cluster penalty?
+        let mut t_local: u64 = 0;
+        let mut t_raw: u64 = 0;
+        for &p in u.srcs.iter().flatten() {
+            t_local = t_local.max(self.phys.avail_at(p, cluster));
+            let d = self.phys.done_at(p);
+            if d != NEVER {
+                t_raw = t_raw.max(d);
+            }
+        }
+        let bypass_delayed = t_local > t_raw;
+
+        let a0 = u.srcs[0].map(|p| self.phys.value(p)).unwrap_or(0);
+        let b0 = u.srcs[1].map(|p| self.phys.value(p)).unwrap_or(0);
+        let a = self.apply_scadd(u, 0, a0);
+        let b = self.apply_scadd(u, 1, b0);
+
+        let op = u.op;
+        let imm = u.imm;
+        let pc = u.pc;
+        let mut value: Option<u32> = None;
+        let mut mem_value: Option<u32> = None;
+        let mut mem_addr: Option<u32> = None;
+        let mut forwarded = false;
+        let mut taken: Option<bool> = None;
+        let mut next: Option<u32> = None;
+
+        let lat = match op.kind() {
+            OpKind::IntAlu | OpKind::Shift | OpKind::Mul | OpKind::Div => {
+                value = Some(alu_result(op, a, b, imm));
+                self.cfg.latency.of(op.kind())
+            }
+            OpKind::CondBranch => {
+                let t = branch_taken(op, a0, b0);
+                taken = Some(t);
+                next = Some(if t {
+                    u.instr.taken_target(pc).expect("branch has target")
+                } else {
+                    pc.wrapping_add(4)
+                });
+                self.cfg.latency.branch
+            }
+            OpKind::Jump => {
+                // Only jr/jalr reach the RS.
+                next = Some(a0);
+                self.cfg.latency.branch
+            }
+            OpKind::Load => {
+                let addr = effective_addr(op, a, b, imm);
+                mem_addr = Some(addr);
+                let (raw, extra) = match self.load_action(id) {
+                    LoadAction::Forward(v) => {
+                        forwarded = true;
+                        (v, 1)
+                    }
+                    LoadAction::Memory => {
+                        let lat = self.hier.access(Side::Data, addr);
+                        (self.mem.read_sized(addr, u.mem.as_ref().unwrap().size), lat)
+                    }
+                    LoadAction::Blocked => unreachable!("select checked eligibility"),
+                };
+                let v = extend_load(op, raw);
+                value = Some(v);
+                mem_value = Some(v);
+                self.cfg.latency.agen + extra
+            }
+            OpKind::Store => {
+                let addr = effective_addr(op, a, b, imm);
+                mem_addr = Some(addr);
+                mem_value = Some(b0); // data operand, unscaled
+                self.cfg.latency.agen
+            }
+            OpKind::System => unreachable!("system ops never dispatch"),
+        };
+
+        let done = now + lat as u64;
+        let u = self.uops.get_mut(&id).unwrap();
+        u.state = UopState::Executing { done };
+        u.fu_executed = true;
+        u.bypass_delayed = bypass_delayed && u.srcs.iter().flatten().next().is_some();
+        if let Some(m) = u.mem.as_mut() {
+            m.addr = mem_addr;
+            if let Some(v) = mem_value {
+                m.value = v;
+            }
+            m.forwarded = forwarded;
+        }
+        if let Some(bctx) = u.branch.as_mut() {
+            bctx.actual_taken = taken;
+            bctx.actual_next = next;
+        }
+        let dest = u.dest;
+        let aliased = u.aliased;
+        if let (Some((_, p)), Some(v), false) = (dest, value, aliased) {
+            self.phys.write(p, v, done, cluster);
+        }
+        self.completions.entry(done).or_default().push(id);
+        if self.trace.enabled() {
+            self.trace
+                .push(now, crate::tracelog::Event::Execute { uop: id, done });
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! The simulator: machine state, reset, and the cycle loop.
+//!
+//! One [`Simulator`] owns every structure of the paper's machine. Each
+//! simulated cycle runs five phases in a fixed order chosen so that every
+//! pipeline stage costs at least one cycle:
+//!
+//! 1. **complete** — execution results whose latency elapses this cycle
+//!    become visible; branches resolve (possibly triggering checkpoint
+//!    recovery or shadow activation);
+//! 2. **retire** — completed head-of-window uops retire in order, checked
+//!    against the functional oracle and fed to the fill unit;
+//! 3. **execute** — each functional unit selects the oldest ready uop in
+//!    its reservation station and begins execution;
+//! 4. **issue** — the previously fetched bundle renames and dispatches
+//!    (bounded by width, checkpoints/cycle and RS space);
+//! 5. **fetch** — the next bundle is fetched from the trace cache or the
+//!    instruction cache.
+
+use crate::config::SimConfig;
+use crate::physreg::{PhysFile, PhysReg};
+use crate::stats::{Report, Stats};
+use crate::tracelog::TraceLog;
+use crate::uop::{FetchBundle, Uop, UopId};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use tracefill_core::fill::FillUnit;
+use tracefill_core::tcache::TraceCache;
+use tracefill_isa::interp::{Halt, Interp};
+use tracefill_isa::mem::Memory;
+use tracefill_isa::program::{Program, STACK_TOP};
+use tracefill_isa::reg::NUM_ARCH_REGS;
+use tracefill_isa::syscall::IoCtx;
+use tracefill_isa::ArchReg;
+use tracefill_uarch::bias::BiasTable;
+use tracefill_uarch::hierarchy::MemHierarchy;
+use tracefill_uarch::indirect::TargetBuffer;
+use tracefill_uarch::pht::{HistorySnapshot, MultiBranchPredictor};
+use tracefill_uarch::ras::{RasSnapshot, ReturnStack};
+
+/// A checkpoint taken at a conditional branch or indirect jump.
+#[derive(Debug, Clone)]
+pub(crate) struct Checkpoint {
+    #[allow(dead_code)] // diagnostic identity, shown in Debug dumps
+    pub id: u64,
+    pub branch: UopId,
+    pub rat: [PhysReg; NUM_ARCH_REGS],
+    pub ras: RasSnapshot,
+    pub ghr: HistorySnapshot,
+}
+
+/// An inactive (shadow) continuation created by inactive issue.
+#[derive(Debug)]
+pub(crate) struct Shadow {
+    /// The divergence branch this shadow hangs off.
+    #[allow(dead_code)] // diagnostic identity, shown in Debug dumps
+    pub anchor: UopId,
+    /// Shadow uops in program order.
+    pub uops: Vec<UopId>,
+    /// Shadow rename state after all shadow uops.
+    pub rat: [PhysReg; NUM_ARCH_REGS],
+    /// Per-shadow-branch rename snapshots, for checkpoint creation at
+    /// activation (RAS/history snapshots are reconstructed by walking the
+    /// shadow uops in order at activation time).
+    pub branch_snaps: Vec<(UopId, [PhysReg; NUM_ARCH_REGS])>,
+    /// Where fetch resumes after activation.
+    pub resume: crate::uop::ShadowResume,
+}
+
+/// A bundle being issued, possibly across several cycles.
+#[derive(Debug)]
+pub(crate) struct PendingIssue {
+    pub bundle: FetchBundle,
+    /// Next slot index to issue.
+    pub next: usize,
+    /// Rename state at segment entry. Trace-line `LiveIn` sources resolve
+    /// against this (the whole line renames "at once", as in the paper);
+    /// raw instruction-cache slots resolve against the running RAT, since
+    /// they carry no explicit dependency marking.
+    pub entry_rat: [PhysReg; NUM_ARCH_REGS],
+    /// Physical destination of each already-issued slot (for `Internal`
+    /// dataflow references). Moves record their aliased register.
+    pub line_phys: Vec<Option<PhysReg>>,
+    /// Shadow context under construction (slots past the divergence).
+    pub shadow: Option<ShadowBuild>,
+}
+
+/// Shadow state while its slots are still issuing.
+#[derive(Debug)]
+pub(crate) struct ShadowBuild {
+    pub anchor: UopId,
+    pub uops: Vec<UopId>,
+    pub rat: [PhysReg; NUM_ARCH_REGS],
+    pub branch_snaps: Vec<(UopId, [PhysReg; NUM_ARCH_REGS])>,
+}
+
+/// Why a simulation run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunExit {
+    /// The program exited via the `EXIT` service.
+    Exited(u32),
+    /// A `BREAK` instruction retired.
+    Break,
+    /// The cycle budget ran out before the program finished.
+    CycleLimit,
+}
+
+/// A fatal simulation error (always a simulator bug or a bad program).
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// The pipeline retired an architectural effect the oracle disagrees
+    /// with — the lockstep check failed.
+    OracleMismatch {
+        /// Cycle of the divergence.
+        cycle: u64,
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// The machine stopped making progress.
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Last retired instruction count.
+        retired: u64,
+    },
+    /// The functional oracle itself faulted (bad program).
+    Oracle(tracefill_isa::interp::InterpError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OracleMismatch { cycle, detail } => {
+                write!(f, "oracle mismatch at cycle {cycle}: {detail}")
+            }
+            SimError::Deadlock { cycle, retired } => {
+                write!(f, "no retirement progress by cycle {cycle} ({retired} retired)")
+            }
+            SimError::Oracle(e) => write!(f, "oracle fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The trace-cache microprocessor simulator.
+///
+/// # Examples
+///
+/// ```
+/// use tracefill_isa::asm::assemble;
+/// use tracefill_sim::{SimConfig, Simulator};
+///
+/// let prog = assemble(r#"
+///         .text
+/// main:   li   $t0, 100
+///         li   $t1, 0
+/// loop:   add  $t1, $t1, $t0
+///         addi $t0, $t0, -1
+///         bgtz $t0, loop
+///         move $a0, $t1
+///         li   $v0, 1
+///         syscall
+///         li   $v0, 10
+///         syscall
+/// "#)?;
+/// let mut sim = Simulator::new(&prog, SimConfig::default());
+/// let exit = sim.run(1_000_000)?;
+/// // The EXIT service reports `$a0` as the exit code.
+/// assert!(matches!(exit, tracefill_sim::RunExit::Exited(_)));
+/// assert_eq!(sim.io().output, vec![5050]);
+/// assert!(sim.stats().ipc() > 1.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    pub(crate) cfg: SimConfig,
+
+    // Memory and architectural oracle.
+    pub(crate) mem: Memory,
+    pub(crate) io: IoCtx,
+    pub(crate) oracle: Interp,
+
+    // Front-end structures.
+    pub(crate) tcache: TraceCache,
+    pub(crate) fill: FillUnit,
+    pub(crate) predictor: MultiBranchPredictor,
+    pub(crate) bias: BiasTable,
+    pub(crate) ras: ReturnStack,
+    pub(crate) itb: TargetBuffer,
+    pub(crate) hier: MemHierarchy,
+
+    // Fetch state.
+    pub(crate) fetch_pc: u32,
+    pub(crate) fetch_stall_until: u64,
+    pub(crate) fetch_buffer: Option<FetchBundle>,
+    pub(crate) pending: Option<PendingIssue>,
+    /// Serializing uop in flight: fetch halts until it retires.
+    pub(crate) serialize: Option<UopId>,
+
+    // Rename state.
+    pub(crate) rat: [PhysReg; NUM_ARCH_REGS],
+    pub(crate) phys: PhysFile,
+    pub(crate) next_uop_id: UopId,
+    pub(crate) next_ckpt_id: u64,
+    pub(crate) checkpoints: Vec<Checkpoint>,
+
+    // Window and backend.
+    pub(crate) uops: HashMap<UopId, Uop>,
+    pub(crate) window: VecDeque<UopId>,
+    pub(crate) shadows: HashMap<UopId, Shadow>,
+    pub(crate) rs: Vec<Vec<UopId>>,
+    pub(crate) lsq: VecDeque<UopId>,
+    pub(crate) completions: BTreeMap<u64, Vec<UopId>>,
+
+    // Control.
+    pub(crate) cycle: u64,
+    pub(crate) halted: Option<Halt>,
+    pub(crate) stats: Stats,
+    pub(crate) last_retire_cycle: u64,
+    pub(crate) trace: TraceLog,
+}
+
+impl Simulator {
+    /// Creates a simulator with the program loaded and the machine reset.
+    pub fn new(program: &Program, cfg: SimConfig) -> Simulator {
+        Simulator::with_io(program, cfg, IoCtx::default())
+    }
+
+    /// Creates a simulator with an input stream for `READ_INT`.
+    pub fn with_io(program: &Program, cfg: SimConfig, io: IoCtx) -> Simulator {
+        let mut phys = PhysFile::new(cfg.phys_regs, cfg.cross_cluster_latency);
+        let mut rat = [PhysFile::ZERO; NUM_ARCH_REGS];
+        for r in ArchReg::all() {
+            if r.is_zero() {
+                continue;
+            }
+            let p = phys.alloc();
+            let v = if r == ArchReg::SP { STACK_TOP } else { 0 };
+            phys.write_arch(p, v);
+            rat[r.index()] = p;
+        }
+        let num_fus = cfg.num_fus();
+        Simulator {
+            mem: program.load(),
+            io: io.clone(),
+            oracle: Interp::with_io(program, io),
+            tcache: TraceCache::new(cfg.tcache),
+            fill: FillUnit::new(cfg.fill),
+            predictor: MultiBranchPredictor::new(cfg.predictor),
+            bias: BiasTable::new(cfg.bias),
+            ras: ReturnStack::new(cfg.ras_depth),
+            itb: TargetBuffer::new(cfg.target_buffer),
+            hier: MemHierarchy::new(cfg.hierarchy),
+            fetch_pc: program.entry,
+            fetch_stall_until: 0,
+            fetch_buffer: None,
+            pending: None,
+            serialize: None,
+            rat,
+            phys,
+            next_uop_id: 0,
+            next_ckpt_id: 0,
+            checkpoints: Vec::new(),
+            uops: HashMap::new(),
+            window: VecDeque::new(),
+            shadows: HashMap::new(),
+            rs: (0..num_fus).map(|_| Vec::new()).collect(),
+            lsq: VecDeque::new(),
+            completions: BTreeMap::new(),
+            cycle: 0,
+            halted: None,
+            stats: Stats::default(),
+            last_retire_cycle: 0,
+            trace: TraceLog::new(cfg.trace_depth),
+            cfg,
+        }
+    }
+
+    /// Pipeline statistics so far.
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// The I/O channels (program output lands here).
+    pub fn io(&self) -> &IoCtx {
+        &self.io
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The pipeline event trace (empty unless
+    /// [`SimConfig::trace_depth`](crate::config::SimConfig::trace_depth)
+    /// was set).
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Assembles a full report (pipeline + structure statistics).
+    pub fn report(&self) -> Report {
+        Report {
+            stats: self.stats,
+            tcache: self.tcache.stats(),
+            caches: self.hier.stats(),
+            fill_segments: self.fill.stats().segments,
+            mean_segment_len: self.fill.stats().mean_segment_len(),
+        }
+    }
+
+    /// Fill-unit statistics (transformation counts at build time).
+    pub fn fill_stats(&self) -> tracefill_core::fill::FillStats {
+        self.fill.stats()
+    }
+
+    /// Trace-cache statistics.
+    pub fn tcache_stats(&self) -> tracefill_core::tcache::TraceCacheStats {
+        self.tcache.stats()
+    }
+
+    /// Runs until the program exits or `max_cycles` elapse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OracleMismatch`] if a retirement diverges from
+    /// the functional oracle (a simulator bug), [`SimError::Deadlock`] if
+    /// no instruction retires for a long stretch, or [`SimError::Oracle`]
+    /// for faults in the program itself.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunExit, SimError> {
+        let budget = self.cycle + max_cycles;
+        while self.cycle < budget {
+            if let Some(h) = self.halted {
+                return Ok(match h {
+                    Halt::Exited(code) => RunExit::Exited(code),
+                    Halt::Break => RunExit::Break,
+                });
+            }
+            self.step_cycle()?;
+        }
+        if let Some(h) = self.halted {
+            return Ok(match h {
+                Halt::Exited(code) => RunExit::Exited(code),
+                Halt::Break => RunExit::Break,
+            });
+        }
+        Ok(RunExit::CycleLimit)
+    }
+
+    /// Runs until `n` more instructions retire, the program exits, or the
+    /// watchdog fires. Used by benchmark harnesses that sample fixed
+    /// instruction budgets.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_instrs(&mut self, n: u64) -> Result<RunExit, SimError> {
+        let target = self.stats.retired + n;
+        while self.stats.retired < target {
+            if let Some(h) = self.halted {
+                return Ok(match h {
+                    Halt::Exited(code) => RunExit::Exited(code),
+                    Halt::Break => RunExit::Break,
+                });
+            }
+            self.step_cycle()?;
+        }
+        Ok(RunExit::CycleLimit)
+    }
+
+    /// Simulates one cycle.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn step_cycle(&mut self) -> Result<(), SimError> {
+        self.cycle += 1;
+        self.phase_complete();
+        self.phase_retire()?;
+        if self.halted.is_some() {
+            return Ok(());
+        }
+        self.phase_execute();
+        self.phase_issue();
+        self.phase_fetch();
+        self.stats.cycles = self.cycle;
+
+        // Watchdog: a healthy machine retires something every few thousand
+        // cycles (the worst case is a serialized miss chain).
+        if self.cycle - self.last_retire_cycle > 100_000 {
+            return Err(SimError::Deadlock {
+                cycle: self.cycle,
+                retired: self.stats.retired,
+            });
+        }
+        Ok(())
+    }
+
+    // ---- shared helpers used by the stage modules ----
+
+    pub(crate) fn new_uop_id(&mut self) -> UopId {
+        let id = self.next_uop_id;
+        self.next_uop_id += 1;
+        id
+    }
+
+    /// Program-order position of `id` in the window (for age comparisons).
+    pub(crate) fn window_pos(&self, id: UopId) -> Option<usize> {
+        self.window.iter().position(|&u| u == id)
+    }
+
+    /// The cluster of a functional unit.
+    pub(crate) fn cluster_of(&self, fu: u8) -> u8 {
+        self.cfg.clusters.cluster_of(fu)
+    }
+}
+
+impl Simulator {
+    /// Formats a diagnostic dump of the window around the retirement head —
+    /// uop states, operand mappings and values. Intended for debugging
+    /// simulator issues; the format is unstable.
+    pub fn dump_window(&self, n: usize) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "cycle {} window={} lsq={}", self.cycle, self.window.len(), self.lsq.len());
+        for &id in self.window.iter().take(n) {
+            let Some(u) = self.uops.get(&id) else { continue };
+            let srcs: Vec<String> = u
+                .srcs
+                .iter()
+                .flatten()
+                .map(|&p| {
+                    format!(
+                        "p{}={:#x}@{}",
+                        p.0,
+                        self.phys.value(p),
+                        if self.phys.done_at(p) == crate::physreg::NEVER {
+                            "never".to_string()
+                        } else {
+                            self.phys.done_at(p).to_string()
+                        }
+                    )
+                })
+                .collect();
+            let _ = writeln!(
+                s,
+                "  [{id}] {:#x} `{}` op={} imm={} srcs={srcs:?} dest={:?} state={:?} tc={} inact={} reassoc={} mem={:?}",
+                u.pc, u.instr, u.op, u.imm, u.dest, u.state, u.from_tc, u.inactive, u.reassociated,
+                u.mem.as_ref().map(|m| (m.is_load, m.addr, m.value))
+            );
+        }
+        s
+    }
+}

@@ -1,0 +1,321 @@
+//! Checkpoint recovery, squash, shadow discard and shadow activation.
+
+use crate::machine::Simulator;
+use crate::uop::{ShadowResume, UopId, UopState};
+use std::collections::HashSet;
+use tracefill_isa::{ArchReg, Op};
+
+impl Simulator {
+    /// Full misprediction recovery at `branch_id`: squash everything
+    /// younger, restore the branch's checkpoint, and redirect fetch.
+    pub(crate) fn recover_at(&mut self, branch_id: UopId, redirect: u32) {
+        self.squash_younger(branch_id);
+
+        // Restore rename/predictor state from the checkpoint, then re-apply
+        // the branch's own speculative effects with the *actual* outcome.
+        let ckpt_idx = self
+            .checkpoints
+            .iter()
+            .position(|c| c.branch == branch_id)
+            .expect("recovering branch owns a checkpoint");
+        let ckpt = self.checkpoints.remove(ckpt_idx);
+        self.rat = ckpt.rat;
+        self.ras.restore(ckpt.ras);
+        self.predictor.restore(ckpt.ghr);
+
+        let (op, pc, actual_taken, promoted, is_return) = {
+            let u = &self.uops[&branch_id];
+            (
+                u.op,
+                u.pc,
+                u.branch.as_ref().and_then(|b| b.actual_taken),
+                u.branch.as_ref().is_some_and(|b| b.promoted),
+                u.instr.op == Op::Jr && u.instr.rs == ArchReg::RA,
+            )
+        };
+        match op {
+            op if op.is_cond_branch() => {
+                let actual = actual_taken.expect("recovered branch resolved");
+                if !promoted {
+                    self.predictor.push_history(actual);
+                }
+            }
+            // Re-apply the return's pop (the snapshot predates it).
+            Op::Jr if is_return => {
+                let _ = self.ras.pop();
+            }
+            Op::Jalr => {
+                self.ras.push(pc.wrapping_add(4));
+            }
+            _ => {}
+        }
+
+        if self.trace.enabled() {
+            self.trace.push(
+                self.cycle,
+                crate::tracelog::Event::Recover {
+                    anchor: branch_id,
+                    redirect,
+                },
+            );
+        }
+        self.redirect_fetch(redirect);
+    }
+
+    /// Activates the shadow hanging off `branch_id`: the trace's embedded
+    /// path was right, its blocks are already renamed and possibly
+    /// executed (paper §3, inactive issue).
+    pub(crate) fn activate_shadow(&mut self, branch_id: UopId) {
+        let shadow = self
+            .shadows
+            .remove(&branch_id)
+            .expect("activation requires a shadow");
+        self.squash_younger(branch_id);
+        self.stats.inactive_rescues += 1;
+
+        // Rename state continues from the shadow's final map.
+        self.rat = shadow.rat;
+
+        // Predictor/RAS state: restore the anchor's checkpoint, then apply
+        // the actual outcome and the shadow's own fetch-time effects.
+        let ckpt_idx = self
+            .checkpoints
+            .iter()
+            .position(|c| c.branch == branch_id)
+            .expect("divergence branch owns a checkpoint");
+        let ckpt = self.checkpoints.remove(ckpt_idx);
+        self.ras.restore(ckpt.ras);
+        self.predictor.restore(ckpt.ghr);
+        let (anchor_actual, anchor_promoted) = {
+            let u = &self.uops[&branch_id];
+            (
+                u.branch
+                    .as_ref()
+                    .and_then(|b| b.actual_taken)
+                    .expect("anchor resolved"),
+                u.branch.as_ref().is_some_and(|b| b.promoted),
+            )
+        };
+        if !anchor_promoted {
+            self.predictor.push_history(anchor_actual);
+        }
+
+        // Walk the shadow in program order: join the window, rebuild RAS
+        // and history, create checkpoints for shadow branches, and enable
+        // deferred memory ops. If an already-resolved shadow branch went
+        // against the embedded path, recovery restarts at it.
+        let mut mispredicted: Option<(UopId, u32)> = None;
+        for (i, &id) in shadow.uops.iter().enumerate() {
+            let snap = shadow
+                .branch_snaps
+                .iter()
+                .find(|(b, _)| *b == id)
+                .map(|(_, rat)| *rat);
+            let ras_snap = self.ras.snapshot();
+            let ghr_snap = self.predictor.snapshot();
+
+            let (op, pc, has_mem, is_sys, is_return) = {
+                let u = self.uops.get_mut(&id).expect("shadow uop exists");
+                u.inactive = false;
+                u.mem_deferred = false;
+                (
+                    u.op,
+                    u.pc,
+                    u.mem.is_some(),
+                    u.is_system(),
+                    u.instr.op == Op::Jr && u.instr.rs == ArchReg::RA,
+                )
+            };
+            self.window.push_back(id);
+            if has_mem {
+                self.lsq.push_back(id);
+            }
+            if is_sys {
+                self.serialize = Some(id);
+            }
+            if matches!(op, Op::Jal | Op::Jalr) {
+                self.ras.push(pc.wrapping_add(4));
+            }
+
+            if op.is_cond_branch() || op.is_indirect() {
+                let ckpt_id = self.next_ckpt_id;
+                self.next_ckpt_id += 1;
+                let rat = snap.expect("shadow branch has a rename snapshot");
+                self.checkpoints.push(crate::machine::Checkpoint {
+                    id: ckpt_id,
+                    branch: id,
+                    rat,
+                    ras: ras_snap,
+                    ghr: ghr_snap,
+                });
+                let (embedded, promoted, resolved, actual_taken, actual_next) = {
+                    let u = self.uops.get_mut(&id).unwrap();
+                    let b = u.branch.as_mut().expect("branch uop has context");
+                    b.checkpoint = Some(ckpt_id);
+                    (b.embedded, b.promoted, b.resolved, b.actual_taken, b.actual_next)
+                };
+
+                if op.is_cond_branch() {
+                    let embedded = embedded.expect("trace branch has embedded direction");
+                    if !promoted {
+                        self.predictor.push_history(embedded);
+                    }
+                    if resolved && actual_taken != Some(embedded) {
+                        let target = actual_next.expect("resolved branch has target");
+                        if mispredicted.is_none() {
+                            mispredicted = Some((id, target));
+                        }
+                    }
+                } else {
+                    // Terminal indirect jump of the line.
+                    debug_assert_eq!(i, shadow.uops.len() - 1);
+                    let target = if resolved {
+                        actual_next
+                    } else {
+                        // Predict now (verified when it resolves).
+                        Some(
+                            if is_return { self.ras.pop() } else { None }
+                                .or_else(|| self.itb.predict(pc))
+                                .unwrap_or(pc.wrapping_add(4)),
+                        )
+                    };
+                    let u = self.uops.get_mut(&id).unwrap();
+                    u.branch.as_mut().unwrap().pred_target = target;
+                }
+            }
+            self.stats.activated_uops += 1;
+        }
+
+        if self.trace.enabled() {
+            self.trace.push(
+                self.cycle,
+                crate::tracelog::Event::Activate {
+                    anchor: branch_id,
+                    count: shadow.uops.len() as u32,
+                },
+            );
+        }
+        // Decide where fetch resumes.
+        let resume_pc = match shadow.resume {
+            ShadowResume::Pc(pc) => pc,
+            ShadowResume::Indirect => {
+                let last = *shadow.uops.last().expect("indirect shadow is nonempty");
+                let b = self.uops[&last].branch.as_ref().expect("terminal indirect");
+                b.pred_target.expect("assigned above")
+            }
+        };
+
+        if let Some((bad_branch, target)) = mispredicted {
+            // A shadow branch itself went off the embedded path; recover
+            // from the checkpoint just created for it.
+            self.recover_at(bad_branch, target);
+        } else if self.serialize.is_some() {
+            // A serializing op is in flight: fetch waits for its retire.
+            self.flush_frontend();
+        } else {
+            self.redirect_fetch(resume_pc);
+        }
+    }
+
+    /// Discards the shadow owned by `branch_id`, if any (the prediction
+    /// turned out correct, or the owner was squashed).
+    pub(crate) fn drop_shadow(&mut self, branch_id: UopId) {
+        let Some(shadow) = self.shadows.remove(&branch_id) else {
+            return;
+        };
+        for id in shadow.uops {
+            self.stats.discarded_inactive_uops += 1;
+            if self.serialize == Some(id) {
+                self.serialize = None;
+            }
+            self.discard_uop(id);
+        }
+    }
+
+    /// Squashes every active uop younger than `branch_id` (and their
+    /// checkpoints and shadows) and flushes the front end.
+    pub(crate) fn squash_younger(&mut self, branch_id: UopId) {
+        let pos = self
+            .window_pos(branch_id)
+            .expect("recovery anchor is in the window");
+        let removed: Vec<UopId> = self.window.split_off(pos + 1).into();
+        let mut dead: HashSet<UopId> = removed.iter().copied().collect();
+
+        // Shadows anchored on squashed branches die with them.
+        let shadow_owners: Vec<UopId> = self
+            .shadows
+            .keys()
+            .copied()
+            .filter(|k| dead.contains(k))
+            .collect();
+        for owner in shadow_owners {
+            let sh = self.shadows.remove(&owner).unwrap();
+            for id in sh.uops {
+                dead.insert(id);
+                self.stats.discarded_inactive_uops += 1;
+            }
+        }
+
+        // A partially issued bundle (and its shadow under construction) is
+        // wrong-path by definition.
+        if let Some(p) = self.pending.take() {
+            if let Some(sb) = p.shadow {
+                for id in sb.uops {
+                    dead.insert(id);
+                    self.stats.discarded_inactive_uops += 1;
+                }
+            }
+        }
+        self.fetch_buffer = None;
+
+        for &id in &dead {
+            self.discard_uop_inner(id);
+        }
+        self.lsq.retain(|id| !dead.contains(id));
+        for rs in &mut self.rs {
+            rs.retain(|id| !dead.contains(id));
+        }
+        self.checkpoints.retain(|c| !dead.contains(&c.branch));
+        if self.serialize.is_some_and(|s| dead.contains(&s)) {
+            self.serialize = None;
+        }
+        self.stats.squashed_uops += dead.len() as u64;
+    }
+
+    /// Removes one uop and releases its destination mapping. Used for
+    /// both squash and shadow discard; the caller fixes up the shared
+    /// structures (`lsq`, `rs`, checkpoint list).
+    fn discard_uop_inner(&mut self, id: UopId) {
+        if let Some(u) = self.uops.remove(&id) {
+            for p in u.srcs.into_iter().flatten() {
+                self.phys.release(p);
+            }
+            if let Some((_, p)) = u.dest {
+                self.phys.release(p);
+            }
+            let _ = u.state == UopState::Done; // results are simply dropped
+        }
+    }
+
+    /// Removes a discarded-shadow uop (not in window/lsq; may be in RS).
+    fn discard_uop(&mut self, id: UopId) {
+        self.discard_uop_inner(id);
+        for rs in &mut self.rs {
+            rs.retain(|&x| x != id);
+        }
+    }
+
+    /// Flushes the fetch buffer and partially issued bundle and redirects.
+    fn redirect_fetch(&mut self, pc: u32) {
+        self.flush_frontend();
+        self.fetch_pc = pc;
+    }
+
+    fn flush_frontend(&mut self) {
+        // squash_younger already dropped pending/fetch_buffer; this also
+        // covers paths that call redirect without a squash.
+        debug_assert!(self.pending.is_none());
+        self.fetch_buffer = None;
+        self.fetch_stall_until = 0;
+    }
+}

@@ -1,0 +1,310 @@
+//! Retire stage: in-order completion, oracle lockstep checking, predictor
+//! and bias training, and feeding the fill unit.
+
+use crate::machine::{SimError, Simulator};
+use tracefill_core::builder::FillInput;
+use tracefill_isa::syscall;
+use tracefill_isa::ArchReg;
+use tracefill_isa::Op;
+
+impl Simulator {
+    /// Retire phase: up to `fetch_width` completed head-of-window uops.
+    pub(crate) fn phase_retire(&mut self) -> Result<(), SimError> {
+        for _ in 0..self.cfg.fetch_width {
+            let Some(&head) = self.window.front() else {
+                break;
+            };
+            let u = &self.uops[&head];
+
+            // Readiness.
+            if u.is_system() {
+                // Serializing ops execute at retirement, with the whole
+                // machine drained ahead of them.
+                self.retire_system(head)?;
+                if self.halted.is_some() {
+                    return Ok(());
+                }
+                continue;
+            }
+            let done = u.is_done();
+            let branch_ok = match &u.branch {
+                Some(b) => b.resolved,
+                None => true,
+            };
+            if !done || !branch_ok {
+                break;
+            }
+
+            self.retire_one(head)?;
+        }
+        // Segments whose fill latency elapsed enter the trace cache.
+        for seg in self.fill.drain_ready(self.cycle) {
+            self.tcache.insert(seg);
+        }
+        Ok(())
+    }
+
+    /// Retires one ordinary uop.
+    fn retire_one(&mut self, id: u64) -> Result<(), SimError> {
+        // Oracle lockstep first: any divergence is a simulator bug.
+        if self.cfg.oracle_check {
+            self.check_against_oracle(id)?;
+        } else {
+            // Still step the oracle to keep lockstep for later checks.
+            self.oracle.step().map_err(SimError::Oracle)?;
+        }
+
+        let u = self.uops.get(&id).expect("retiring uop exists");
+        let pc = u.pc;
+        let instr = u.instr;
+        let op = u.op;
+        let taken = u.branch.as_ref().and_then(|b| b.actual_taken);
+        let actual_next = u.branch.as_ref().and_then(|b| b.actual_next);
+        let pred_taken = u.branch.as_ref().and_then(|b| b.pred_taken);
+        let pred_target = u.branch.as_ref().and_then(|b| b.pred_target);
+        let prediction = u.branch.as_ref().and_then(|b| b.prediction);
+        let prev_phys = u.prev_phys;
+        let store = u
+            .mem
+            .as_ref()
+            .filter(|m| !m.is_load)
+            .map(|m| (m.addr.expect("retired store has address"), m.size, m.value));
+
+        // Stats.
+        self.stats.retired += 1;
+        self.stats.retired_moves += u.is_move as u64;
+        self.stats.retired_reassoc += u.reassociated as u64;
+        self.stats.retired_scadd += u.scadd.is_some() as u64;
+        self.stats.retired_from_tc += u.from_tc as u64;
+        self.stats.fu_executed += u.fu_executed as u64;
+        self.stats.bypass_delayed += u.bypass_delayed as u64;
+
+        // Commit stores to memory.
+        if let Some((addr, size, value)) = store {
+            self.mem.write_sized(addr, size, value);
+        }
+
+        // Branch bookkeeping.
+        if op.is_cond_branch() {
+            let taken = taken.expect("retired branch resolved");
+            self.stats.branches += 1;
+            if pred_taken != Some(taken) {
+                self.stats.branch_mispredicts += 1;
+            }
+            self.bias.observe(pc, taken);
+            if let Some(p) = prediction {
+                self.predictor.update(p, taken);
+            }
+        }
+        if op.is_indirect() {
+            let actual = actual_next.expect("retired indirect resolved");
+            self.stats.indirects += 1;
+            if pred_target != Some(actual) {
+                self.stats.indirect_mispredicts += 1;
+            }
+            self.itb.update(pc, actual);
+        }
+
+        // Feed the fill unit (after the bias observation, so promotion
+        // state is current).
+        let promoted = if op.is_cond_branch() && self.fill.config().promotion {
+            self.bias.promoted(pc)
+        } else {
+            None
+        };
+        let fetch_miss_head = self.uops[&id].miss_head;
+        self.fill.retire(
+            FillInput {
+                pc,
+                instr,
+                taken,
+                promoted,
+                fetch_miss_head,
+            },
+            self.cycle,
+        );
+
+        // Release source holds and the displaced mapping, drop
+        // checkpoints/shadows owned by this uop, and leave the window.
+        let srcs = self.uops[&id].srcs;
+        for p in srcs.into_iter().flatten() {
+            self.phys.release(p);
+        }
+        if let Some(prev) = prev_phys {
+            self.phys.release(prev);
+        }
+        self.checkpoints.retain(|c| c.branch != id);
+        self.drop_shadow(id);
+        if self.lsq.front() == Some(&id) {
+            self.lsq.pop_front();
+        }
+        if self.trace.enabled() {
+            self.trace
+                .push(self.cycle, crate::tracelog::Event::Retire { uop: id, pc });
+        }
+        self.window.pop_front();
+        self.uops.remove(&id);
+        self.last_retire_cycle = self.cycle;
+        Ok(())
+    }
+
+    /// Retires a serializing system op (`SYSCALL`/`BREAK`), executing it
+    /// against architectural state.
+    fn retire_system(&mut self, id: u64) -> Result<(), SimError> {
+        let u = self.uops.get(&id).expect("retiring uop exists");
+        // Architectural reads: all older uops retired, so every live
+        // mapping is ready. The syscall itself renamed $v0 at issue, so
+        // the service number lives in the mapping it displaced.
+        let service_phys = u.prev_phys.unwrap_or(self.rat[ArchReg::V0.index()]);
+        let service = self.phys.value(service_phys);
+        let a0 = self.phys.value(self.rat[ArchReg::A0.index()]);
+
+        let pc = u.pc;
+        let op = u.op;
+        let dest = u.dest;
+        let prev_phys = u.prev_phys;
+        let from_tc = u.from_tc;
+        let instr = u.instr;
+
+        if op == Op::Syscall {
+            match syscall::execute(service, a0, &mut self.io) {
+                Ok(outcome) => {
+                    // The syscall renamed $v0; its new mapping holds either
+                    // the service result or the unchanged old value.
+                    let (_, p) = dest.expect("syscall uop renames $v0");
+                    let v0 = outcome.reg_write.map(|(_, v)| v).unwrap_or(service);
+                    self.phys.write_arch(p, v0);
+                    if let Some(code) = outcome.exit {
+                        self.halted = Some(tracefill_isa::interp::Halt::Exited(code));
+                    }
+                }
+                Err(e) => {
+                    return Err(SimError::OracleMismatch {
+                        cycle: self.cycle,
+                        detail: format!("unknown syscall at {pc:#x}: {e}"),
+                    })
+                }
+            }
+        } else {
+            self.halted = Some(tracefill_isa::interp::Halt::Break);
+        }
+
+        // Oracle lockstep.
+        if self.cfg.oracle_check {
+            let r = self.oracle.step().map_err(SimError::Oracle)?;
+            if r.pc != pc || r.instr != instr {
+                return Err(SimError::OracleMismatch {
+                    cycle: self.cycle,
+                    detail: format!(
+                        "system op stream mismatch: sim {pc:#x} {instr}, oracle {:#x} {}",
+                        r.pc, r.instr
+                    ),
+                });
+            }
+            if let Some((reg, val)) = r.reg_write {
+                let p = self.rat[reg.index()];
+                let got = self.phys.value(p);
+                if got != val {
+                    return Err(SimError::OracleMismatch {
+                        cycle: self.cycle,
+                        detail: format!(
+                            "syscall wrote {reg}={got:#x}, oracle expects {val:#x}"
+                        ),
+                    });
+                }
+            }
+        } else {
+            self.oracle.step().map_err(SimError::Oracle)?;
+        }
+
+        self.stats.retired += 1;
+        self.stats.retired_from_tc += from_tc as u64;
+        self.fill.retire(
+            FillInput {
+                pc,
+                instr,
+                taken: None,
+                promoted: None,
+                fetch_miss_head: false,
+            },
+            self.cycle,
+        );
+
+        let srcs = self.uops[&id].srcs;
+        for p in srcs.into_iter().flatten() {
+            self.phys.release(p);
+        }
+        if let Some(prev) = prev_phys {
+            self.phys.release(prev);
+        }
+        if self.trace.enabled() {
+            self.trace
+                .push(self.cycle, crate::tracelog::Event::Retire { uop: id, pc });
+        }
+        self.window.pop_front();
+        self.uops.remove(&id);
+        self.serialize = None;
+        self.fetch_pc = pc.wrapping_add(4);
+        self.fetch_stall_until = 0;
+        self.last_retire_cycle = self.cycle;
+        Ok(())
+    }
+
+    /// Compares the retiring uop's architectural effects against the
+    /// functional oracle.
+    fn check_against_oracle(&mut self, id: u64) -> Result<(), SimError> {
+        let r = self.oracle.step().map_err(SimError::Oracle)?;
+        let u = &self.uops[&id];
+        let fail = |detail: String| SimError::OracleMismatch {
+            cycle: self.cycle,
+            detail,
+        };
+        if r.pc != u.pc || r.instr != u.instr {
+            return Err(fail(format!(
+                "stream mismatch: sim retires {:#x} `{}`, oracle executes {:#x} `{}`",
+                u.pc, u.instr, r.pc, r.instr
+            )));
+        }
+        // Register write.
+        let sim_write = u
+            .dest
+            .map(|(reg, p)| (reg, self.phys.value(p)));
+        if sim_write != r.reg_write {
+            return Err(fail(format!(
+                "register effect mismatch at {:#x} `{}`: sim {:?}, oracle {:?}",
+                u.pc, u.instr, sim_write, r.reg_write
+            )));
+        }
+        // Store effect.
+        let sim_store = u
+            .mem
+            .as_ref()
+            .filter(|m| !m.is_load)
+            .map(|m| (m.addr.unwrap_or(0), m.size, m.value));
+        if sim_store != r.store {
+            return Err(fail(format!(
+                "store effect mismatch at {:#x} `{}`: sim {:?}, oracle {:?}",
+                u.pc, u.instr, sim_store, r.store
+            )));
+        }
+        // Branch direction.
+        let sim_taken = u.branch.as_ref().and_then(|b| b.actual_taken);
+        if u.op.is_cond_branch() && sim_taken != r.taken {
+            return Err(fail(format!(
+                "branch direction mismatch at {:#x} `{}`: sim {:?}, oracle {:?}",
+                u.pc, u.instr, sim_taken, r.taken
+            )));
+        }
+        // Control flow of indirect jumps.
+        if u.op.is_indirect() {
+            let sim_next = u.branch.as_ref().and_then(|b| b.actual_next);
+            if sim_next != Some(r.next_pc) {
+                return Err(fail(format!(
+                    "indirect target mismatch at {:#x} `{}`: sim {:?}, oracle {:#x}",
+                    u.pc, u.instr, sim_next, r.next_pc
+                )));
+            }
+        }
+        Ok(())
+    }
+}

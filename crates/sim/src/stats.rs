@@ -1,0 +1,148 @@
+//! Simulation statistics — everything the paper's tables and figures need.
+
+use serde::{Deserialize, Serialize};
+use tracefill_core::tcache::TraceCacheStats;
+use tracefill_uarch::cache::CacheStats;
+
+/// Counters accumulated over a simulation run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Stats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Correct-path instructions retired (the numerator of IPC).
+    pub retired: u64,
+    /// Retired instructions that had been marked as register moves.
+    pub retired_moves: u64,
+    /// Retired instructions whose immediate had been reassociated.
+    pub retired_reassoc: u64,
+    /// Retired instructions executed as scaled adds.
+    pub retired_scadd: u64,
+    /// Retired instructions fetched from the trace cache.
+    pub retired_from_tc: u64,
+    /// Retired instructions whose last-arriving operand was delayed by the
+    /// cross-cluster bypass network (Figure 7 numerator).
+    pub bypass_delayed: u64,
+    /// Retired instructions that executed in a functional unit (Figure 7
+    /// denominator; excludes moves, which never visit a FU, and other
+    /// zero-source completions).
+    pub fu_executed: u64,
+    /// Conditional branches retired.
+    pub branches: u64,
+    /// Conditional branches mispredicted (including promoted ones).
+    pub branch_mispredicts: u64,
+    /// Mispredictions rescued by inactive issue (the trace's embedded path
+    /// was correct and its blocks were already in flight).
+    pub inactive_rescues: u64,
+    /// Inactive-issued instructions that were eventually activated.
+    pub activated_uops: u64,
+    /// Inactive-issued instructions that were discarded.
+    pub discarded_inactive_uops: u64,
+    /// Indirect jumps retired / mispredicted.
+    pub indirects: u64,
+    /// Indirect target mispredictions.
+    pub indirect_mispredicts: u64,
+    /// Wrong-path (squashed) uops that had entered the window.
+    pub squashed_uops: u64,
+    /// Fetch cycles stalled on instruction-cache misses.
+    pub icache_stall_cycles: u64,
+    /// Cycles the front end was serialized behind a syscall.
+    pub serialize_stall_cycles: u64,
+}
+
+impl Stats {
+    /// Retired instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of retired instructions that were transformed by the fill
+    /// unit (Table 2's "Total" column).
+    pub fn transformed_fraction(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            (self.retired_moves + self.retired_reassoc + self.retired_scadd) as f64
+                / self.retired as f64
+        }
+    }
+
+    /// Fraction of FU-executed instructions delayed by the bypass network
+    /// (Figure 7).
+    pub fn bypass_delay_fraction(&self) -> f64 {
+        if self.fu_executed == 0 {
+            0.0
+        } else {
+            self.bypass_delayed as f64 / self.fu_executed as f64
+        }
+    }
+
+    /// Conditional branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.branch_mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Fraction of retired instructions supplied by the trace cache.
+    pub fn tc_fraction(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.retired_from_tc as f64 / self.retired as f64
+        }
+    }
+}
+
+/// A full report: pipeline counters plus the underlying structures' stats.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// Pipeline counters.
+    pub stats: Stats,
+    /// Trace cache hit/miss/fill counters.
+    pub tcache: TraceCacheStats,
+    /// L1I, L1D, L2 hit/miss counters.
+    pub caches: (CacheStats, CacheStats, CacheStats),
+    /// Fill-unit transformation counts (build-time view).
+    pub fill_segments: u64,
+    /// Mean finalized segment length.
+    pub mean_segment_len: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let s = Stats {
+            cycles: 100,
+            retired: 420,
+            retired_moves: 21,
+            retired_reassoc: 10,
+            retired_scadd: 11,
+            fu_executed: 200,
+            bypass_delayed: 70,
+            branches: 50,
+            branch_mispredicts: 5,
+            ..Stats::default()
+        };
+        assert!((s.ipc() - 4.2).abs() < 1e-12);
+        assert!((s.transformed_fraction() - 0.1).abs() < 1e-12);
+        assert!((s.bypass_delay_fraction() - 0.35).abs() < 1e-12);
+        assert!((s.mispredict_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_is_defined() {
+        let s = Stats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.transformed_fraction(), 0.0);
+        assert_eq!(s.bypass_delay_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Pipeline event tracing.
+//!
+//! When enabled ([`SimConfig::trace_depth`] > 0), the simulator records
+//! one event per pipeline transition into a bounded ring buffer. The log
+//! is the tool for answering "why did this instruction wait six cycles?"
+//! without printf-debugging the pipeline — pair it with
+//! [`Simulator::dump_window`] for a full picture.
+//!
+//! Tracing is off by default and costs one predictable branch per event
+//! site when disabled.
+//!
+//! [`SimConfig::trace_depth`]: crate::config::SimConfig::trace_depth
+//! [`Simulator::dump_window`]: crate::Simulator::dump_window
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// What happened to a uop (or to the machine) at one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A bundle of `count` instructions was fetched at `pc` (from the
+    /// trace cache if `tc`).
+    Fetch {
+        /// Fetch address.
+        pc: u32,
+        /// Instructions delivered.
+        count: u8,
+        /// Source was the trace cache.
+        tc: bool,
+    },
+    /// A uop entered the window (renamed/dispatched).
+    Issue {
+        /// The uop.
+        uop: u64,
+        /// Its PC.
+        pc: u32,
+        /// Functional unit (issue slot).
+        fu: u8,
+        /// Issued inactively (shadow).
+        inactive: bool,
+    },
+    /// A uop began execution on its functional unit.
+    Execute {
+        /// The uop.
+        uop: u64,
+        /// Completion cycle.
+        done: u64,
+    },
+    /// A uop's result became visible.
+    Complete {
+        /// The uop.
+        uop: u64,
+    },
+    /// A uop retired.
+    Retire {
+        /// The uop.
+        uop: u64,
+        /// Its PC.
+        pc: u32,
+    },
+    /// Misprediction recovery squashed everything younger than `anchor`.
+    Recover {
+        /// The branch recovery restarted from.
+        anchor: u64,
+        /// New fetch address.
+        redirect: u32,
+    },
+    /// A shadow (inactive-issue) context was activated.
+    Activate {
+        /// The divergence branch.
+        anchor: u64,
+        /// Uops promoted into the window.
+        count: u32,
+    },
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Event::Fetch { pc, count, tc } => write!(
+                f,
+                "fetch   {pc:#010x} x{count} [{}]",
+                if tc { "tcache" } else { "icache" }
+            ),
+            Event::Issue {
+                uop,
+                pc,
+                fu,
+                inactive,
+            } => write!(
+                f,
+                "issue   u{uop} pc={pc:#010x} fu={fu}{}",
+                if inactive { " (inactive)" } else { "" }
+            ),
+            Event::Execute { uop, done } => write!(f, "execute u{uop} done@{done}"),
+            Event::Complete { uop } => write!(f, "complete u{uop}"),
+            Event::Retire { uop, pc } => write!(f, "retire  u{uop} pc={pc:#010x}"),
+            Event::Recover { anchor, redirect } => {
+                write!(f, "recover @u{anchor} -> {redirect:#010x}")
+            }
+            Event::Activate { anchor, count } => {
+                write!(f, "activate shadow @u{anchor} ({count} uops)")
+            }
+        }
+    }
+}
+
+/// A bounded ring buffer of timestamped pipeline events.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    depth: usize,
+    events: VecDeque<(u64, Event)>,
+}
+
+impl TraceLog {
+    /// Creates a log keeping the most recent `depth` events (0 disables).
+    pub fn new(depth: usize) -> TraceLog {
+        TraceLog {
+            depth,
+            events: VecDeque::with_capacity(depth.min(4096)),
+        }
+    }
+
+    /// Whether recording is enabled.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.depth > 0
+    }
+
+    /// Records one event at `cycle`.
+    #[inline]
+    pub fn push(&mut self, cycle: u64, event: Event) {
+        if self.depth == 0 {
+            return;
+        }
+        if self.events.len() == self.depth {
+            self.events.pop_front();
+        }
+        self.events.push_back((cycle, event));
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = (u64, Event)> + '_ {
+        self.events.iter().copied()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the retained events as one line per event.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (cycle, e) in self.events() {
+            let _ = writeln!(s, "[{cycle:>8}] {e}");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::new(0);
+        assert!(!log.enabled());
+        log.push(1, Event::Complete { uop: 1 });
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut log = TraceLog::new(3);
+        for i in 0..10 {
+            log.push(i, Event::Complete { uop: i });
+        }
+        let kept: Vec<u64> = log.events().map(|(c, _)| c).collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let mut log = TraceLog::new(8);
+        log.push(5, Event::Fetch { pc: 0x400000, count: 16, tc: true });
+        log.push(
+            6,
+            Event::Issue {
+                uop: 3,
+                pc: 0x400000,
+                fu: 2,
+                inactive: false,
+            },
+        );
+        log.push(9, Event::Recover { anchor: 3, redirect: 0x400040 });
+        let text = log.render();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("tcache"));
+        assert!(text.contains("recover @u3"));
+    }
+}

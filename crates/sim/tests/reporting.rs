@@ -1,0 +1,101 @@
+//! Reports, serialization and diagnostic surfaces.
+
+use tracefill_core::config::OptConfig;
+use tracefill_sim::{SimConfig, Simulator};
+
+fn small_sim() -> Simulator {
+    let prog = tracefill_isa::asm::assemble(
+        r#"
+        .text
+main:   li   $s0, 400
+loop:   andi $t0, $s0, 7
+        sll  $t1, $t0, 2
+        add  $s1, $s1, $t1
+        addi $s0, $s0, -1
+        bgtz $s0, loop
+        move $a0, $s1
+        li   $v0, 1
+        syscall
+        li   $a0, 0
+        li   $v0, 10
+        syscall
+"#,
+    )
+    .unwrap();
+    let mut sim = Simulator::new(&prog, SimConfig::with_opts(OptConfig::all()));
+    sim.run(10_000_000).unwrap();
+    sim
+}
+
+#[test]
+fn report_serializes_to_json_and_back() {
+    let sim = small_sim();
+    let report = sim.report();
+    let json = serde_json::to_string(&report).unwrap();
+    let back: tracefill_sim::Report = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.stats.retired, report.stats.retired);
+    assert_eq!(back.stats.cycles, report.stats.cycles);
+    assert_eq!(back.tcache.hits, report.tcache.hits);
+    assert_eq!(back.fill_segments, report.fill_segments);
+}
+
+#[test]
+fn config_serializes_to_json_and_back() {
+    let cfg = SimConfig::with_opts(OptConfig::all());
+    let json = serde_json::to_string_pretty(&cfg).unwrap();
+    let back: SimConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.fetch_width, cfg.fetch_width);
+    assert_eq!(back.fill.opts, cfg.fill.opts);
+    assert_eq!(back.tcache, cfg.tcache);
+}
+
+#[test]
+fn stats_are_internally_consistent() {
+    let sim = small_sim();
+    let s = sim.stats();
+    assert!(s.retired > 0);
+    assert!(s.cycles > 0);
+    assert!(s.retired_from_tc <= s.retired);
+    assert!(s.retired_moves + s.retired_reassoc + s.retired_scadd <= s.retired);
+    assert!(s.bypass_delayed <= s.fu_executed);
+    assert!(s.fu_executed <= s.retired);
+    assert!(s.branch_mispredicts <= s.branches);
+    assert!(s.indirect_mispredicts <= s.indirects);
+    assert!(s.inactive_rescues <= s.branch_mispredicts);
+    // Rates are well-formed probabilities.
+    for rate in [
+        s.ipc() / 16.0, // IPC bounded by fetch width
+        s.transformed_fraction(),
+        s.bypass_delay_fraction(),
+        s.mispredict_rate(),
+        s.tc_fraction(),
+    ] {
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} out of bounds");
+    }
+}
+
+#[test]
+fn dump_window_is_renderable_midflight() {
+    let prog = tracefill_workloads::by_name("m88k")
+        .unwrap()
+        .program(50)
+        .unwrap();
+    let mut sim = Simulator::new(&prog, SimConfig::default());
+    sim.run_instrs(5_000).unwrap();
+    let dump = sim.dump_window(12);
+    assert!(dump.contains("cycle"));
+    // At least the window header plus some uops.
+    assert!(dump.lines().count() >= 2, "{dump}");
+}
+
+#[test]
+fn fill_and_tcache_stats_are_exposed() {
+    let sim = small_sim();
+    let fill = sim.fill_stats();
+    assert!(fill.segments > 0);
+    assert!(fill.mean_segment_len() > 1.0);
+    assert!(fill.opts.transformed_instrs() > 0);
+    let tc = sim.tcache_stats();
+    assert!(tc.fills >= fill.segments - 1); // every finalized segment is offered
+    assert!(tc.hit_rate() > 0.0);
+}

@@ -1,0 +1,25 @@
+use tracefill_isa::asm::assemble;
+use tracefill_sim::{RunExit, SimConfig, Simulator};
+
+#[test]
+fn loop_program_runs() {
+    let prog = assemble(r#"
+        .text
+main:   li   $t0, 100
+        li   $t1, 0
+loop:   add  $t1, $t1, $t0
+        addi $t0, $t0, -1
+        bgtz $t0, loop
+        move $a0, $t1
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+"#).unwrap();
+    let mut sim = Simulator::new(&prog, SimConfig::default());
+    let exit = sim.run(1_000_000).unwrap();
+    eprintln!("exit={exit:?} cycles={} retired={} ipc={:.3} out={:?}",
+        sim.cycle(), sim.stats().retired, sim.stats().ipc(), sim.io().output);
+    assert!(matches!(exit, RunExit::Exited(_)));
+    assert_eq!(sim.io().output, vec![5050]);
+}

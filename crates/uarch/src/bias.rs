@@ -1,0 +1,189 @@
+//! Branch bias table and branch promotion.
+//!
+//! Branch promotion (Patel, Evers & Patt, ISCA-25) dynamically identifies
+//! conditional branches that are strongly biased and *promotes* them: the
+//! fill unit embeds a static prediction in the trace segment, and the
+//! promoted branch no longer consumes one of the three per-segment dynamic
+//! prediction slots. The paper promotes after **64 consecutive identical
+//! outcomes** using an 8 KB bias table (one byte per entry: 1 direction bit
+//! plus a 7-bit run counter).
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the bias table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BiasConfig {
+    /// Number of (tagless, PC-indexed) entries; power of two.
+    pub entries: u32,
+    /// Consecutive identical outcomes required to promote.
+    pub threshold: u8,
+}
+
+impl Default for BiasConfig {
+    /// The paper's 8 K entries / threshold 64.
+    fn default() -> BiasConfig {
+        BiasConfig {
+            entries: 8 * 1024,
+            threshold: 64,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BiasEntry {
+    dir: bool,
+    run: u8,
+}
+
+/// The bias table.
+///
+/// # Examples
+///
+/// ```
+/// use tracefill_uarch::bias::{BiasTable, BiasConfig};
+///
+/// let mut t = BiasTable::new(BiasConfig { entries: 64, threshold: 4 });
+/// for _ in 0..4 {
+///     t.observe(0x40, true);
+/// }
+/// assert_eq!(t.promoted(0x40), Some(true));
+/// t.observe(0x40, false); // broken run demotes immediately
+/// assert_eq!(t.promoted(0x40), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BiasTable {
+    entries: Vec<BiasEntry>,
+    threshold: u8,
+    promotions: u64,
+    demotions: u64,
+}
+
+impl Default for BiasTable {
+    fn default() -> BiasTable {
+        BiasTable::new(BiasConfig::default())
+    }
+}
+
+impl BiasTable {
+    /// Creates an empty bias table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `threshold` is 0 or
+    /// exceeds 127 (it must fit the 7-bit run counter).
+    pub fn new(config: BiasConfig) -> BiasTable {
+        assert!(config.entries.is_power_of_two());
+        assert!(
+            (1..=127).contains(&config.threshold),
+            "threshold must fit a 7-bit counter"
+        );
+        BiasTable {
+            entries: vec![BiasEntry::default(); config.entries as usize],
+            threshold: config.threshold,
+            promotions: 0,
+            demotions: 0,
+        }
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        ((pc >> 2) & (self.entries.len() as u32 - 1)) as usize
+    }
+
+    /// Records a retired outcome of the branch at `pc`.
+    pub fn observe(&mut self, pc: u32, taken: bool) {
+        let threshold = self.threshold;
+        let idx = self.index(pc);
+        let e = &mut self.entries[idx];
+        if e.run > 0 && e.dir == taken {
+            let was = e.run >= threshold;
+            e.run = (e.run + 1).min(127);
+            if !was && e.run >= threshold {
+                self.promotions += 1;
+            }
+        } else {
+            if e.run >= threshold {
+                self.demotions += 1;
+            }
+            e.dir = taken;
+            e.run = 1;
+        }
+    }
+
+    /// If the branch at `pc` is currently promoted, its static direction.
+    pub fn promoted(&self, pc: u32) -> Option<bool> {
+        let e = self.entries[self.index(pc)];
+        (e.run >= self.threshold).then_some(e.dir)
+    }
+
+    /// Number of promotion events so far.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Number of demotion events (bias runs broken after promotion).
+    pub fn demotions(&self) -> u64 {
+        self.demotions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> BiasTable {
+        BiasTable::new(BiasConfig {
+            entries: 16,
+            threshold: 3,
+        })
+    }
+
+    #[test]
+    fn promotion_needs_consecutive_outcomes() {
+        let mut t = small();
+        t.observe(0, true);
+        t.observe(0, true);
+        t.observe(0, false); // break the run
+        t.observe(0, false);
+        t.observe(0, false);
+        assert_eq!(t.promoted(0), Some(false));
+        assert_eq!(t.promotions(), 1);
+    }
+
+    #[test]
+    fn run_counter_saturates() {
+        let mut t = small();
+        for _ in 0..1000 {
+            t.observe(4, true);
+        }
+        assert_eq!(t.promoted(4), Some(true));
+    }
+
+    #[test]
+    fn aliasing_shares_entries() {
+        let mut t = small(); // 16 entries => pcs 0 and 64 alias... (64>>2)&15 = 0
+        for _ in 0..3 {
+            t.observe(0, true);
+        }
+        assert_eq!(t.promoted(64), Some(true));
+    }
+
+    #[test]
+    fn demotion_counts() {
+        let mut t = small();
+        for _ in 0..3 {
+            t.observe(8, true);
+        }
+        t.observe(8, false);
+        assert_eq!(t.demotions(), 1);
+        assert_eq!(t.promoted(8), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "7-bit")]
+    fn threshold_must_fit() {
+        BiasTable::new(BiasConfig {
+            entries: 8,
+            threshold: 128,
+        });
+    }
+}

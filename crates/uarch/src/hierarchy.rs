@@ -1,0 +1,153 @@
+//! Memory hierarchy timing: L1 instruction / L1 data / unified L2 / DRAM.
+//!
+//! Latencies follow §3 of the paper: first-level hits are 1 cycle (loads
+//! have a 1-cycle latency after address generation), second-level hits take
+//! 6 cycles, and misses to memory take 50 cycles. Contention is not modeled
+//! (the paper quotes its memory latency "if there is no bus contention").
+
+use crate::cache::{CacheConfig, CacheStats, SetAssocCache};
+use serde::{Deserialize, Serialize};
+
+/// Latency parameters of the hierarchy, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemTimings {
+    /// First-level hit latency.
+    pub l1_hit: u32,
+    /// Additional latency for an L2 hit.
+    pub l2_hit: u32,
+    /// Additional latency for a DRAM access.
+    pub dram: u32,
+}
+
+impl Default for MemTimings {
+    fn default() -> MemTimings {
+        MemTimings {
+            l1_hit: 1,
+            l2_hit: 6,
+            dram: 50,
+        }
+    }
+}
+
+/// Full configuration of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Supporting instruction cache (the paper: 4 KB, 4-way).
+    pub l1i: CacheConfig,
+    /// Data cache (the paper: 64 KB, 4-way, 1-cycle loads).
+    pub l1d: CacheConfig,
+    /// Unified second level (the paper: 1 MB, 6-cycle).
+    pub l2: CacheConfig,
+    /// Latencies.
+    pub timings: MemTimings,
+}
+
+impl Default for HierarchyConfig {
+    /// The paper's configuration.
+    fn default() -> HierarchyConfig {
+        HierarchyConfig {
+            l1i: CacheConfig {
+                bytes: 4 * 1024,
+                ways: 4,
+                line_bytes: 64,
+            },
+            l1d: CacheConfig {
+                bytes: 64 * 1024,
+                ways: 4,
+                line_bytes: 64,
+            },
+            l2: CacheConfig {
+                bytes: 1024 * 1024,
+                ways: 4,
+                line_bytes: 64,
+            },
+            timings: MemTimings::default(),
+        }
+    }
+}
+
+/// The two first-level sides of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Instruction fetch.
+    Instr,
+    /// Data access.
+    Data,
+}
+
+/// Timing model of the cache/memory hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use tracefill_uarch::hierarchy::{MemHierarchy, HierarchyConfig, Side};
+///
+/// let mut m = MemHierarchy::new(HierarchyConfig::default());
+/// let cold = m.access(Side::Data, 0x1000_0000);
+/// assert_eq!(cold, 1 + 6 + 50);             // L1 miss, L2 miss, DRAM
+/// assert_eq!(m.access(Side::Data, 0x1000_0000), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemHierarchy {
+    l1i: SetAssocCache,
+    l1d: SetAssocCache,
+    l2: SetAssocCache,
+    timings: MemTimings,
+}
+
+impl MemHierarchy {
+    /// Creates a hierarchy with all caches empty.
+    pub fn new(config: HierarchyConfig) -> MemHierarchy {
+        MemHierarchy {
+            l1i: SetAssocCache::new(config.l1i),
+            l1d: SetAssocCache::new(config.l1d),
+            l2: SetAssocCache::new(config.l2),
+            timings: config.timings,
+        }
+    }
+
+    /// Performs one access and returns its total latency in cycles.
+    pub fn access(&mut self, side: Side, addr: u32) -> u32 {
+        let l1 = match side {
+            Side::Instr => &mut self.l1i,
+            Side::Data => &mut self.l1d,
+        };
+        let mut latency = self.timings.l1_hit;
+        if !l1.access(addr) {
+            latency += self.timings.l2_hit;
+            if !self.l2.access(addr) {
+                latency += self.timings.dram;
+            }
+        }
+        latency
+    }
+
+    /// Per-cache hit/miss statistics `(l1i, l1d, l2)`.
+    pub fn stats(&self) -> (CacheStats, CacheStats, CacheStats) {
+        (self.l1i.stats(), self.l1d.stats(), self.l2.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inclusion_of_latencies() {
+        let mut m = MemHierarchy::new(HierarchyConfig::default());
+        assert_eq!(m.access(Side::Instr, 0x40_0000), 57);
+        // Same line now in both L1I and L2.
+        assert_eq!(m.access(Side::Instr, 0x40_0004), 1);
+        // A *data* access to the same line misses L1D but hits L2.
+        assert_eq!(m.access(Side::Data, 0x40_0000), 7);
+    }
+
+    #[test]
+    fn separate_l1_sides() {
+        let mut m = MemHierarchy::new(HierarchyConfig::default());
+        m.access(Side::Data, 0x100);
+        let (i, d, _) = m.stats();
+        assert_eq!(i.hits + i.misses, 0);
+        assert_eq!(d.misses, 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Indirect-branch target prediction (last-target buffer).
+//!
+//! `JR`/`JALR` through jump tables (interpreter dispatch, vtables) need a
+//! target prediction before the register value is known. A small tagless
+//! table remembers the last observed target per PC; returns are handled by
+//! the [`ReturnStack`](crate::ras::ReturnStack) instead.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the target buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TargetBufferConfig {
+    /// Number of entries (power of two).
+    pub entries: u32,
+}
+
+impl Default for TargetBufferConfig {
+    fn default() -> TargetBufferConfig {
+        TargetBufferConfig { entries: 512 }
+    }
+}
+
+/// Last-target predictor for indirect jumps.
+///
+/// # Examples
+///
+/// ```
+/// use tracefill_uarch::indirect::TargetBuffer;
+///
+/// let mut t = TargetBuffer::default();
+/// assert_eq!(t.predict(0x400), None);
+/// t.update(0x400, 0x1234);
+/// assert_eq!(t.predict(0x400), Some(0x1234));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TargetBuffer {
+    targets: Vec<u32>,
+}
+
+impl Default for TargetBuffer {
+    fn default() -> TargetBuffer {
+        TargetBuffer::new(TargetBufferConfig::default())
+    }
+}
+
+impl TargetBuffer {
+    /// Creates an empty buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry count is not a power of two.
+    pub fn new(config: TargetBufferConfig) -> TargetBuffer {
+        assert!(config.entries.is_power_of_two());
+        TargetBuffer {
+            targets: vec![0; config.entries as usize],
+        }
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        ((pc >> 2) & (self.targets.len() as u32 - 1)) as usize
+    }
+
+    /// The last observed target for the indirect jump at `pc`, if any.
+    pub fn predict(&self, pc: u32) -> Option<u32> {
+        let t = self.targets[self.index(pc)];
+        (t != 0).then_some(t)
+    }
+
+    /// Records the resolved target of the indirect jump at `pc`.
+    pub fn update(&mut self, pc: u32, target: u32) {
+        let idx = self.index(pc);
+        self.targets[idx] = target;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_target_wins() {
+        let mut t = TargetBuffer::new(TargetBufferConfig { entries: 8 });
+        t.update(4, 100);
+        t.update(4, 200);
+        assert_eq!(t.predict(4), Some(200));
+    }
+
+    #[test]
+    fn aliasing() {
+        let mut t = TargetBuffer::new(TargetBufferConfig { entries: 8 });
+        t.update(0, 42);
+        // pc 32 aliases with 8 entries (32>>2 & 7 == 0).
+        assert_eq!(t.predict(32), Some(42));
+    }
+}

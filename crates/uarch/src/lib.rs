@@ -1,0 +1,29 @@
+//! # tracefill-uarch
+//!
+//! Reusable microarchitectural substrates for the `tracefill` simulator:
+//!
+//! * [`cache`] — generic set-associative cache with true-LRU replacement;
+//! * [`hierarchy`] — L1I/L1D/L2/DRAM latency model with the paper's
+//!   parameters as defaults;
+//! * [`pht`] — the three-table multiple-branch predictor (64K/16K/8K 2-bit
+//!   counters) that predicts up to three conditional branches per fetched
+//!   trace segment;
+//! * [`bias`] — the 8 KB bias table driving branch promotion (threshold:
+//!   64 consecutive identical outcomes);
+//! * [`ras`] — return address stack with checkpoint repair;
+//! * [`indirect`] — last-target buffer for indirect jumps.
+//!
+//! These structures are deliberately free of pipeline knowledge: the
+//! `tracefill-sim` crate wires them into the fetch/rename/execute loop, and
+//! `tracefill-core` (the fill unit and trace cache) consumes [`bias`] when
+//! deciding which branches to promote.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bias;
+pub mod cache;
+pub mod hierarchy;
+pub mod indirect;
+pub mod pht;
+pub mod ras;

@@ -1,0 +1,186 @@
+//! The multiple-branch predictor: three skewed pattern history tables.
+//!
+//! The paper's fetch engine predicts up to three conditional branches per
+//! trace segment each cycle. A dedicated pattern history table (PHT) of
+//! 2-bit saturating counters serves each *slot*: the first conditional
+//! branch of the segment reads table 0, the second table 1, the third table
+//! 2. Branch promotion makes later slots rare, so the tables are skewed in
+//! size — 64K/16K/8K entries in the paper (≈32 KB of predictor storage
+//! including the bias table).
+//!
+//! Tables are indexed gshare-style by the fetch address hashed with a
+//! global history register. The history is updated speculatively at fetch
+//! and repaired from checkpoints on misprediction.
+
+use serde::{Deserialize, Serialize};
+
+/// Sizes of the three per-slot PHTs, in entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorConfig {
+    /// Entries in tables for slots 0, 1, 2 (must be powers of two).
+    pub table_entries: [u32; 3],
+    /// Bits of global history folded into the index.
+    pub history_bits: u32,
+}
+
+impl Default for PredictorConfig {
+    /// The paper's 64K/16K/8K configuration.
+    fn default() -> PredictorConfig {
+        PredictorConfig {
+            table_entries: [64 * 1024, 16 * 1024, 8 * 1024],
+            history_bits: 14,
+        }
+    }
+}
+
+/// A snapshot of speculative predictor state, stored in checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistorySnapshot(u32);
+
+/// Outcome of a prediction: the direction plus the table index used, which
+/// the caller passes back to [`MultiBranchPredictor::update`] at resolve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Predicted taken?
+    pub taken: bool,
+    /// Which slot's table produced it.
+    pub slot: u8,
+    /// Index within that table.
+    pub index: u32,
+}
+
+/// The three-table multiple-branch predictor.
+///
+/// # Examples
+///
+/// ```
+/// use tracefill_uarch::pht::MultiBranchPredictor;
+///
+/// let mut p = MultiBranchPredictor::default();
+/// let pred = p.predict(0x40_0000, 0);
+/// // Train the entry taken twice; it then predicts taken.
+/// p.update(pred, true);
+/// p.update(pred, true);
+/// assert!(p.predict(0x40_0000, 0).taken);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiBranchPredictor {
+    tables: [Vec<u8>; 3],
+    ghr: u32,
+    history_mask: u32,
+}
+
+impl Default for MultiBranchPredictor {
+    fn default() -> MultiBranchPredictor {
+        MultiBranchPredictor::new(PredictorConfig::default())
+    }
+}
+
+impl MultiBranchPredictor {
+    /// Creates a predictor with all counters weakly not-taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any table size is not a power of two.
+    pub fn new(config: PredictorConfig) -> MultiBranchPredictor {
+        for n in config.table_entries {
+            assert!(n.is_power_of_two(), "PHT sizes must be powers of two");
+        }
+        MultiBranchPredictor {
+            tables: [
+                vec![1; config.table_entries[0] as usize],
+                vec![1; config.table_entries[1] as usize],
+                vec![1; config.table_entries[2] as usize],
+            ],
+            ghr: 0,
+            history_mask: (1u32 << config.history_bits.min(31)) - 1,
+        }
+    }
+
+    fn index(&self, fetch_addr: u32, slot: usize) -> u32 {
+        let mask = self.tables[slot].len() as u32 - 1;
+        ((fetch_addr >> 2) ^ (self.ghr & self.history_mask)) & mask
+    }
+
+    /// Predicts the direction of the `slot`-th unpromoted conditional
+    /// branch of the segment fetched at `fetch_addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 3`.
+    pub fn predict(&self, fetch_addr: u32, slot: usize) -> Prediction {
+        let index = self.index(fetch_addr, slot);
+        Prediction {
+            taken: self.tables[slot][index as usize] >= 2,
+            slot: slot as u8,
+            index,
+        }
+    }
+
+    /// Trains the counter a prediction came from with the actual outcome.
+    pub fn update(&mut self, pred: Prediction, taken: bool) {
+        let c = &mut self.tables[pred.slot as usize][pred.index as usize];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Speculatively shifts one predicted outcome into the history.
+    pub fn push_history(&mut self, taken: bool) {
+        self.ghr = (self.ghr << 1) | taken as u32;
+    }
+
+    /// Captures the speculative history for checkpoint repair.
+    pub fn snapshot(&self) -> HistorySnapshot {
+        HistorySnapshot(self.ghr)
+    }
+
+    /// Restores the history captured at a checkpoint (misprediction repair).
+    pub fn restore(&mut self, snap: HistorySnapshot) {
+        self.ghr = snap.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_saturate_both_ways() {
+        let mut p = MultiBranchPredictor::default();
+        let pr = p.predict(0x80, 2);
+        for _ in 0..10 {
+            p.update(pr, true);
+        }
+        assert!(p.predict(0x80, 2).taken);
+        // Two not-taken outcomes flip a saturated counter back.
+        p.update(pr, false);
+        p.update(pr, false);
+        assert!(!p.predict(0x80, 2).taken);
+    }
+
+    #[test]
+    fn slots_use_distinct_tables() {
+        let mut p = MultiBranchPredictor::default();
+        let pr0 = p.predict(0x40, 0);
+        p.update(pr0, true);
+        p.update(pr0, true);
+        assert!(p.predict(0x40, 0).taken);
+        // Slot 1 for the same address is untrained.
+        assert!(!p.predict(0x40, 1).taken);
+    }
+
+    #[test]
+    fn history_affects_index_and_restores() {
+        let mut p = MultiBranchPredictor::default();
+        let snap = p.snapshot();
+        let before = p.predict(0x1234_0000, 0).index;
+        p.push_history(true);
+        let after = p.predict(0x1234_0000, 0).index;
+        assert_ne!(before, after);
+        p.restore(snap);
+        assert_eq!(p.predict(0x1234_0000, 0).index, before);
+    }
+}

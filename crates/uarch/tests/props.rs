@@ -1,0 +1,97 @@
+//! Property tests for the microarchitectural substrates.
+
+use proptest::prelude::*;
+use tracefill_uarch::bias::{BiasConfig, BiasTable};
+use tracefill_uarch::cache::{CacheConfig, SetAssocCache};
+use tracefill_uarch::pht::MultiBranchPredictor;
+use tracefill_uarch::ras::ReturnStack;
+
+proptest! {
+    /// The most recently used line is never the one evicted: after any
+    /// access sequence, re-touching the last address always hits.
+    #[test]
+    fn mru_line_survives(addrs in prop::collection::vec(0u32..0x4000, 1..200)) {
+        let mut c = SetAssocCache::new(CacheConfig { bytes: 256, ways: 2, line_bytes: 16 });
+        for &a in &addrs {
+            c.access(a);
+            prop_assert!(c.probe(a), "just-accessed address must be resident");
+        }
+    }
+
+    /// A direct-mapped-equivalent working set that fits the cache never
+    /// misses after the first pass.
+    #[test]
+    fn resident_working_set_always_hits(start in 0u32..1024) {
+        let cfg = CacheConfig { bytes: 1024, ways: 4, line_bytes: 32 };
+        let mut c = SetAssocCache::new(cfg);
+        let lines: Vec<u32> = (0..cfg.bytes / cfg.line_bytes)
+            .map(|i| start + i * cfg.line_bytes)
+            .collect();
+        for &a in &lines {
+            c.access(a);
+        }
+        let misses_before = c.stats().misses;
+        for _ in 0..3 {
+            for &a in &lines {
+                prop_assert!(c.access(a));
+            }
+        }
+        prop_assert_eq!(c.stats().misses, misses_before);
+    }
+
+    /// Training a PHT entry with a constant direction always converges to
+    /// predicting that direction within two updates.
+    #[test]
+    fn pht_converges(pc in any::<u32>(), dir in any::<bool>(), slot in 0usize..3) {
+        let mut p = MultiBranchPredictor::default();
+        let pr = p.predict(pc, slot);
+        p.update(pr, dir);
+        p.update(pr, dir);
+        prop_assert_eq!(p.predict(pc, slot).taken, dir);
+    }
+
+    /// History snapshots restore exactly regardless of intervening pushes.
+    #[test]
+    fn history_restore_is_exact(pushes in prop::collection::vec(any::<bool>(), 0..40), pc in any::<u32>()) {
+        let mut p = MultiBranchPredictor::default();
+        let snap = p.snapshot();
+        let before = p.predict(pc, 0).index;
+        for t in pushes {
+            p.push_history(t);
+        }
+        p.restore(snap);
+        prop_assert_eq!(p.predict(pc, 0).index, before);
+    }
+
+    /// The bias table promotes after exactly `threshold` consecutive
+    /// identical outcomes and demotes on the first contrary one.
+    /// (Threshold 1 is excluded: there a single contrary outcome is
+    /// itself a full run and legitimately re-promotes the new direction.)
+    #[test]
+    fn promotion_boundary(threshold in 2u8..32, dir in any::<bool>()) {
+        let mut t = BiasTable::new(BiasConfig { entries: 64, threshold });
+        for i in 0..threshold {
+            prop_assert_eq!(t.promoted(0), None, "promoted after only {} outcomes", i);
+            t.observe(0, dir);
+        }
+        prop_assert_eq!(t.promoted(0), Some(dir));
+        t.observe(0, !dir);
+        prop_assert_eq!(t.promoted(0), None);
+    }
+
+    /// RAS push/pop behaves as a bounded stack: popping after n pushes
+    /// returns the last min(n, depth) addresses in reverse order.
+    #[test]
+    fn ras_is_a_bounded_stack(addrs in prop::collection::vec(any::<u32>(), 0..24), depth in 1usize..12) {
+        let mut r = ReturnStack::new(depth);
+        for &a in &addrs {
+            r.push(a);
+        }
+        let expect: Vec<u32> = addrs.iter().rev().take(depth).copied().collect();
+        let mut got = Vec::new();
+        while let Some(a) = r.pop() {
+            got.push(a);
+        }
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,86 @@
+//! `gnuchess` — sliding-piece move generation on a 0x88-style board.
+//!
+//! Dominant pattern: ray scans that repeatedly bump a square index by a
+//! *constant* direction (`addi sq, sq, 16` and friends) with a
+//! bounds/occupancy branch between every bump — exactly the cross-block
+//! immediate chain reassociation collapses. Table 2 targets: ≈3.4% moves,
+//! ≈10.4% reassociable (second only to m88ksim; the paper reports chess
+//! +23% from reassociation alone), ≈5.7% scaled adds.
+
+use super::{init_data, EPILOGUE};
+
+/// Generates the kernel with `scale` full move-generation sweeps.
+///
+/// The four rook directions are unrolled so each ray loop bumps the
+/// square with a constant immediate, as compiled chess programs do.
+pub fn source(scale: u32) -> String {
+    let init = init_data("cboard", 32, 0xc4e5);
+    // One ray loop per direction: sq += <imm> until off-board/occupied.
+    let mut rays = String::new();
+    for (tag, imm) in [("e", 1), ("w", -1), ("n", 16), ("s", -16)] {
+        rays.push_str(&format!(
+            r#"
+        # --- ray {tag}: step {imm} ---
+        move $s5, $s3            # ray cursor = sq (move idiom)
+ray{tag}:  addi $s5, $s5, {imm}     # constant bump (reassociation chain)
+        andi $t6, $s5, 0x88
+        bnez $t6, end{tag}          # fell off the board
+        add  $t8, $s0, $s5       # &board[cursor] (byte board)
+        lbu  $t9, 0($t8)
+        bnez $t9, cap{tag}
+        addi $s2, $s2, 1         # quiet move
+        j    ray{tag}
+cap{tag}:  add  $s2, $s2, $t9       # capture scores by piece value
+end{tag}:
+"#
+        ));
+    }
+    format!(
+        r#"
+        .text
+main:   li   $s7, {scale}
+{init}
+        # Sparsify the board (1 stone in ~16) and build the piece list,
+        # as real move generators do.
+        la   $t0, cboard
+        la   $a2, plist
+        li   $a3, 0              # piece count
+        li   $t1, 0              # square
+sparse: andi $t4, $t1, 0x88
+        bnez $t4, clear          # off-board squares stay empty
+        add  $t6, $t0, $t1       # byte board
+        lbu  $t2, 0($t6)
+        andi $t3, $t2, 15
+        bnez $t3, clearw
+        andi $t2, $t2, 3
+        addi $t2, $t2, 1
+        sb   $t2, 0($t6)
+        sw   $t1, 0($a2)         # append to the piece list
+        addi $a2, $a2, 4
+        addi $a3, $a3, 1
+        j    snext
+clearw: sb   $zero, 0($t6)
+clear:
+snext:  addi $t1, $t1, 1
+        slti $t7, $t1, 128
+        bnez $t7, sparse
+
+        la   $s0, cboard
+        la   $s1, plist
+        li   $s2, 0              # move count / checksum
+outer:  li   $a1, 0              # piece-list index
+sq:     sll  $t1, $a1, 2
+        lwx  $s3, $s1, $t1       # square of this piece
+{rays}
+        addi $a1, $a1, 1
+        slt  $t0, $a1, $a3
+        bnez $t0, sq
+        addi $s7, $s7, -1
+        bgtz $s7, outer
+{EPILOGUE}
+        .data
+cboard: .space 128
+plist:  .space 128
+"#
+    )
+}

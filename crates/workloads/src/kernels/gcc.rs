@@ -1,0 +1,119 @@
+//! `gcc` — symbol-table and expression-tree manipulation.
+//!
+//! Dominant patterns: pointer-chasing binary-tree walks with highly
+//! irregular compare branches, helper calls with argument moves, and
+//! field accesses at small displacements. Table 2 targets: ≈6.4% moves,
+//! ≈2.2% reassociable, ≈3.1% scaled adds.
+
+use super::{init_data, EPILOGUE};
+
+/// Generates the kernel with `scale` passes of tree building + walking.
+///
+/// Tree nodes are 16-byte records: `key, left, right, flags`.
+pub fn source(scale: u32) -> String {
+    let init = init_data("gkeys", 128, 0x6cc1);
+    format!(
+        r#"
+        .text
+main:   li   $s7, {scale}
+{init}
+        li   $s2, 0              # checksum
+outer:
+        la   $s5, gseen
+        # (Re)build a binary search tree from the key block.
+        la   $s0, gnodes
+        sw   $zero, 0($s0)       # root key
+        sw   $zero, 4($s0)
+        sw   $zero, 8($s0)
+        sw   $zero, 12($s0)
+        addi $s1, $s0, 16        # next free node
+        la   $s3, gkeys
+        addi $s3, $s3, 4         # key cursor
+        li   $s4, 1              # keys inserted
+insert: lw   $a0, 0($s3)         # key to insert
+        addi $s3, $s3, 4         # cursor walk (immediate chain)
+        andi $a0, $a0, 4095
+        andi $t4, $a0, 63        # bloom-style seen filter
+        sll  $t5, $t4, 2
+        add  $t6, $s5, $t5       # filter slot (shift+add)
+        lw   $t7, 0($t6)
+        addi $t7, $t7, 1
+        sw   $t7, 0($t6)
+        move $a1, $s0            # root (argument move)
+        jal  tins
+        add  $s2, $s2, $v0
+        addi $s4, $s4, 1
+        slti $t2, $s4, 96
+        bnez $t2, insert
+
+        # Walk: count nodes with keys below a moving threshold.
+        li   $s4, 0
+walk:   sll  $t0, $s4, 5
+        andi $a0, $t0, 4095      # threshold
+        move $a1, $s0
+        jal  tcount
+        add  $s2, $s2, $v0
+        addi $s4, $s4, 1
+        slti $t2, $s4, 32
+        bnez $t2, walk
+
+        addi $s7, $s7, -1
+        bgtz $s7, outer
+{EPILOGUE}
+
+# tins(key=$a0, node=$a1): BST insert; returns depth in $v0.
+tins:   li   $v0, 0
+tloop:  lw   $t0, 0($a1)         # node key
+        addi $v0, $v0, 1
+        slti $t9, $v0, 12        # depth cap keeps the tree bounded
+        beqz $t9, tdone
+        beq  $t0, $a0, tdone
+        slt  $t1, $a0, $t0
+        beqz $t1, tright
+        lw   $t2, 4($a1)         # left child
+        beqz $t2, tnewl
+        move $a1, $t2
+        j    tloop
+tright: lw   $t2, 8($a1)         # right child
+        beqz $t2, tnewr
+        move $a1, $t2
+        j    tloop
+tnewl:  move $t3, $s1            # allocate (move idiom)
+        sw   $a0, 0($t3)
+        sw   $zero, 4($t3)
+        sw   $zero, 8($t3)
+        sw   $v0, 12($t3)
+        sw   $t3, 4($a1)
+        addi $s1, $s1, 16
+        j    tdone
+tnewr:  move $t3, $s1
+        sw   $a0, 0($t3)
+        sw   $zero, 4($t3)
+        sw   $zero, 8($t3)
+        sw   $v0, 12($t3)
+        sw   $t3, 8($a1)
+        addi $s1, $s1, 16
+tdone:  jr   $ra
+
+# tcount(limit=$a0, node=$a1): iterative leftmost-path scan.
+tcount: li   $v0, 0
+cloop:  beqz $a1, cdone
+        lw   $t0, 0($a1)
+        slt  $t1, $t0, $a0
+        beqz $t1, cskip
+        addi $v0, $v0, 1
+cskip:  lw   $t2, 4($a1)
+        beqz $t2, cright
+        move $a1, $t2
+        j    cloop
+cright: lw   $a1, 8($a1)
+        j    cloop
+cdone:  jr   $ra
+
+        .data
+gkeys:  .space 512
+gseen:  .space 256
+gnodes: .space 32768
+"#
+    )
+}

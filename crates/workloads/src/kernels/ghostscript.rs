@@ -1,0 +1,57 @@
+//! `ghostscript` — fixed-point line rasterization (Bresenham-style).
+//!
+//! Dominant pattern: error-accumulator updates with small constants on
+//! both sides of the step-direction branch (a natural cross-block
+//! reassociation source), plus framebuffer stores through computed
+//! addresses. Table 2 targets: ≈4.6% moves, ≈7.9% reassociable, ≈1.9%
+//! scaled adds.
+
+use super::EPILOGUE;
+
+/// Generates the kernel: `scale` batches of 32 rasterized lines.
+pub fn source(scale: u32) -> String {
+    format!(
+        r#"
+        .text
+main:   li   $s7, {scale}
+        la   $s0, fb             # framebuffer: 64x32 bytes
+        li   $s2, 0              # checksum
+outer:  li   $s3, 0              # line index
+line:   # fixed 2:1-slope segments (dx=32, dy=13), as a clipped path
+        # renderer emits: the error updates are compile-time constants
+        andi $t0, $s3, 15
+        move $s4, $t0            # x = start column (move idiom)
+        andi $t1, $s3, 7
+        move $s5, $t1            # y = start row (move idiom)
+        li   $s6, -6             # err = 2*dy - dx = 26 - 32
+        li   $a0, 32             # steps
+step:   # plot(x, y): fb[y*64 + x] += 1
+        sll  $t3, $s5, 6
+        add  $t4, $t3, $s4
+        add  $t5, $s0, $t4
+        lbu  $t6, 0($t5)
+        addi $t6, $t6, 1
+        sb   $t6, 0($t5)
+        add  $s2, $s2, $t6
+        bltz $s6, east
+        # north-east step: y += 1, err += 2*(dy - dx) = -38
+        addi $s5, $s5, 1
+        addi $s6, $s6, -38       # constant err update (chains across
+        j    estep               # the step branch: reassociable)
+east:   move $t8, $t6            # pixel staging (move idiom, off the
+        add  $s2, $s2, $t8       # critical error chain)
+        addi $s6, $s6, 26        # err += 2*dy (constant chain)
+estep:  addi $s4, $s4, 1         # x += 1 (chain across the branch)
+        addi $a0, $a0, -1
+        bgtz $a0, step
+        addi $s3, $s3, 1
+        slti $t9, $s3, 32
+        bnez $t9, line
+        addi $s7, $s7, -1
+        bgtz $s7, outer
+{EPILOGUE}
+        .data
+fb:     .space 4096
+"#
+    )
+}

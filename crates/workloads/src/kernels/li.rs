@@ -1,0 +1,95 @@
+//! `li` — Lisp-interpreter-style cons-cell list processing.
+//!
+//! Dominant patterns: `car`/`cdr` pointer chasing through 8-byte cells,
+//! list construction, and recursive helpers with argument-register moves
+//! (xlisp passes everything in registers). Table 2 targets: ≈8.0% moves,
+//! ≈2.1% reassociable, ≈1.3% scaled adds.
+
+use super::EPILOGUE;
+
+/// Generates the kernel with `scale` build/sum/filter rounds.
+pub fn source(scale: u32) -> String {
+    format!(
+        r#"
+        .text
+main:   li   $s7, {scale}
+        li   $s2, 0              # checksum
+outer:  la   $s1, heap           # reset the cons heap
+        # Build a 64-element list of small integers: (63 62 ... 0).
+        li   $a0, 0              # value counter
+        li   $a1, 0              # nil
+        li   $s4, 32
+build:  move $t0, $s1            # allocate two cells (move idiom)
+        sw   $a0, 0($t0)         # car = value
+        sw   $a1, 4($t0)         # cdr = rest
+        addi $t2, $a0, 1
+        sw   $t2, 8($t0)         # second cell, unrolled
+        sw   $t0, 12($t0)        # its cdr is the first cell
+        addi $a1, $t0, 8         # list = second cell
+        addi $s1, $s1, 16
+        addi $a0, $a0, 2
+        addi $s4, $s4, -1
+        bgtz $s4, build
+        move $s3, $a1            # save list head
+
+        # (sum list): iterative car/cdr walk.
+        move $a0, $s3
+        jal  lsum
+        add  $s2, $s2, $v0
+
+        # (mapcar (lambda (x) (* x 3)) list), destructive.
+        move $a0, $s3
+        jal  lscale
+        # (count-if odd? list)
+        move $a0, $s3
+        jal  lodd
+        add  $s2, $s2, $v0
+        # a second analysis pass: sum, scale, sum
+        move $a0, $s3
+        jal  lsum
+        add  $s2, $s2, $v0
+        move $a0, $s3
+        jal  lscale
+        move $a0, $s3
+        jal  lsum
+        xor  $s2, $s2, $v0
+        addi $s7, $s7, -1
+        bgtz $s7, outer
+{EPILOGUE}
+
+# lsum(list=$a0) -> $v0: sum of cars.
+lsum:   li   $v0, 0
+suml:   beqz $a0, sumd
+        lw   $t0, 0($a0)         # car
+        add  $v0, $v0, $t0
+        lw   $a0, 4($a0)         # cdr
+        j    suml
+sumd:   jr   $ra
+
+# lscale(list=$a0): car *= 3, in place.
+lscale: beqz $a0, scaled
+        lw   $t0, 0($a0)
+        move $t1, $t0            # copy before scaling (move idiom)
+        sll  $t2, $t1, 1
+        add  $t3, $t2, $t0       # x*3 = (x<<1)+x
+        sw   $t3, 0($a0)
+        lw   $a0, 4($a0)
+        j    lscale
+scaled: jr   $ra
+
+# lodd(list=$a0) -> $v0: count of odd cars.
+lodd:   li   $v0, 0
+oddl:   beqz $a0, oddd
+        lw   $t0, 0($a0)
+        andi $t1, $t0, 1
+        beqz $t1, odde
+        addi $v0, $v0, 1
+odde:   lw   $a0, 4($a0)
+        j    oddl
+oddd:   jr   $ra
+
+        .data
+heap:   .space 1024
+"#
+    )
+}

@@ -1,0 +1,58 @@
+//! The benchmark kernels, one module per Table 1 row.
+//!
+//! Each kernel is a hand-written SSA assembly program whose *instruction
+//! mix* mirrors what the paper reports for the corresponding benchmark in
+//! Table 2: the fraction of dynamic instructions that are register-move
+//! idioms, cross-block reassociable immediate pairs, and shift+add
+//! (scaled-add) pairs. The kernels are scaled by an iteration count so
+//! harnesses can run any instruction budget, and each prints a checksum so
+//! simulator and interpreter runs can be compared end to end.
+
+pub mod chess;
+pub mod compress;
+pub mod gcc;
+pub mod ghostscript;
+pub mod go;
+pub mod gnuplot;
+pub mod ijpeg;
+pub mod li;
+pub mod m88ksim;
+pub mod perl;
+pub mod pgp;
+pub mod python;
+pub mod simoutorder;
+pub mod tex;
+pub mod vortex;
+
+/// The standard pseudo-random data-initialization prologue: fills `words`
+/// 32-bit words at `label` with an LCG stream seeded by `seed`. Kernels
+/// splice this after their own `main:` setup.
+pub(crate) fn init_data(label: &str, words: u32, seed: u32) -> String {
+    format!(
+        r#"
+        # --- init {label}: {words} words of LCG data ---
+        la   $t8, {label}
+        li   $t9, {seed}
+        li   $t7, {words}
+init_{label}:
+        li   $t6, 1103515245
+        mul  $t9, $t9, $t6
+        addi $t9, $t9, 12345
+        srl  $t5, $t9, 8
+        sw   $t5, 0($t8)
+        addi $t8, $t8, 4
+        addi $t7, $t7, -1
+        bgtz $t7, init_{label}
+"#
+    )
+}
+
+/// The standard epilogue: print the checksum in `$s2` and exit.
+pub(crate) const EPILOGUE: &str = r#"
+        move $a0, $s2
+        li   $v0, 1
+        syscall
+        li   $a0, 0
+        li   $v0, 10
+        syscall
+"#;

@@ -1,0 +1,155 @@
+//! `pgp` — multi-precision (bignum) arithmetic.
+//!
+//! Dominant patterns: schoolbook multiply inner loops built from
+//! `mul`/`mulh` pairs with carry propagation through register copies,
+//! plus modular folding. Table 2 targets: ≈7.9% moves, ≈4.0%
+//! reassociable, ≈1.0% scaled adds (the suite minimum — bignum loops walk
+//! pointers instead of scaling indices).
+
+use super::{init_data, EPILOGUE};
+
+/// Generates the kernel: `scale` rounds of an 8-limb × 8-limb multiply.
+pub fn source(scale: u32) -> String {
+    let init = init_data("biga", 16, 0x1234);
+    format!(
+        r#"
+        .text
+main:   li   $s7, {scale}
+{init}
+        la   $s0, biga           # a: 8 limbs (and b right after)
+        addi $s1, $s0, 32        # b
+        la   $s3, prod           # product: 16 limbs
+        li   $s2, 0              # checksum
+outer:  # clear the product (unrolled memset, as compilers emit)
+        move $t1, $s3            # cursor (move idiom)
+        sw   $zero, 0($t1)
+        sw   $zero, 4($t1)
+        sw   $zero, 8($t1)
+        sw   $zero, 12($t1)
+        sw   $zero, 16($t1)
+        sw   $zero, 20($t1)
+        sw   $zero, 24($t1)
+        sw   $zero, 28($t1)
+        sw   $zero, 32($t1)
+        sw   $zero, 36($t1)
+        sw   $zero, 40($t1)
+        sw   $zero, 44($t1)
+        sw   $zero, 48($t1)
+        sw   $zero, 52($t1)
+        sw   $zero, 56($t1)
+        sw   $zero, 60($t1)
+        # schoolbook multiply
+        li   $s4, 0              # i
+        move $a2, $s3            # row base of the product (move idiom)
+iloop:  sll  $t0, $s4, 2
+        lwx  $t1, $s0, $t0       # a[i]
+        move $a3, $s1            # b cursor (move idiom)
+        move $t8, $a2            # product cursor
+        li   $s6, 0              # carry
+        # fully unrolled 8-limb inner row (fixed-size bignum)
+        lw   $t3, 0($a3)         # b[0]
+        mul  $t4, $t1, $t3
+        mulh $t5, $t1, $t3
+        lw   $t9, 0($t8)
+        add  $t4, $t4, $t9
+        sltu $t9, $t4, $t9
+        add  $t4, $t4, $s6
+        sw   $t4, 0($t8)
+        move $t6, $t5            # carry (move idiom)
+        add  $s6, $t6, $t9
+        lw   $t3, 4($a3)         # b[1]
+        mul  $t4, $t1, $t3
+        mulh $t5, $t1, $t3
+        lw   $t9, 4($t8)
+        add  $t4, $t4, $t9
+        sltu $t9, $t4, $t9
+        add  $t4, $t4, $s6
+        sw   $t4, 4($t8)
+        move $t6, $t5            # carry (move idiom)
+        add  $s6, $t6, $t9
+        lw   $t3, 8($a3)         # b[2]
+        mul  $t4, $t1, $t3
+        mulh $t5, $t1, $t3
+        lw   $t9, 8($t8)
+        add  $t4, $t4, $t9
+        sltu $t9, $t4, $t9
+        add  $t4, $t4, $s6
+        sw   $t4, 8($t8)
+        move $t6, $t5            # carry (move idiom)
+        add  $s6, $t6, $t9
+        lw   $t3, 12($a3)         # b[3]
+        mul  $t4, $t1, $t3
+        mulh $t5, $t1, $t3
+        lw   $t9, 12($t8)
+        add  $t4, $t4, $t9
+        sltu $t9, $t4, $t9
+        add  $t4, $t4, $s6
+        sw   $t4, 12($t8)
+        move $t6, $t5            # carry (move idiom)
+        add  $s6, $t6, $t9
+        lw   $t3, 16($a3)         # b[4]
+        mul  $t4, $t1, $t3
+        mulh $t5, $t1, $t3
+        lw   $t9, 16($t8)
+        add  $t4, $t4, $t9
+        sltu $t9, $t4, $t9
+        add  $t4, $t4, $s6
+        sw   $t4, 16($t8)
+        move $t6, $t5            # carry (move idiom)
+        add  $s6, $t6, $t9
+        lw   $t3, 20($a3)         # b[5]
+        mul  $t4, $t1, $t3
+        mulh $t5, $t1, $t3
+        lw   $t9, 20($t8)
+        add  $t4, $t4, $t9
+        sltu $t9, $t4, $t9
+        add  $t4, $t4, $s6
+        sw   $t4, 20($t8)
+        move $t6, $t5            # carry (move idiom)
+        add  $s6, $t6, $t9
+        lw   $t3, 24($a3)         # b[6]
+        mul  $t4, $t1, $t3
+        mulh $t5, $t1, $t3
+        lw   $t9, 24($t8)
+        add  $t4, $t4, $t9
+        sltu $t9, $t4, $t9
+        add  $t4, $t4, $s6
+        sw   $t4, 24($t8)
+        move $t6, $t5            # carry (move idiom)
+        add  $s6, $t6, $t9
+        lw   $t3, 28($a3)         # b[7]
+        mul  $t4, $t1, $t3
+        mulh $t5, $t1, $t3
+        lw   $t9, 28($t8)
+        add  $t4, $t4, $t9
+        sltu $t9, $t4, $t9
+        add  $t4, $t4, $s6
+        sw   $t4, 28($t8)
+        move $t6, $t5            # carry (move idiom)
+        add  $s6, $t6, $t9
+        # flush the final carry into prod[i+8]
+        lw   $t2, 32($t8)
+        add  $t2, $t2, $s6
+        sw   $t2, 32($t8)
+        addi $a2, $a2, 4         # next product row base
+        addi $s4, $s4, 1
+        slti $t3, $s4, 8
+        bnez $t3, iloop
+        # fold the product into the checksum
+        li   $t0, 0
+fold:   sll  $t1, $t0, 2
+        lwx  $t2, $s3, $t1
+        xor  $s2, $s2, $t2
+        addi $s2, $s2, 1
+        addi $t0, $t0, 1
+        slti $t3, $t0, 16
+        bnez $t3, fold
+        addi $s7, $s7, -1
+        bgtz $s7, outer
+{EPILOGUE}
+        .data
+biga:   .space 64
+prod:   .space 64
+"#
+    )
+}

@@ -1,0 +1,104 @@
+//! `python` — a stack-based bytecode interpreter.
+//!
+//! Dominant patterns: opcode dispatch through a jump table (`jr` through
+//! `lwx`), an evaluation stack in memory with ±4 pointer bumps around
+//! every handler (cross-block immediate chains), and top-of-stack caching
+//! moves. Table 2 targets: ≈6.3% moves, ≈2.8% reassociable, ≈2.8% scaled
+//! adds.
+
+use super::EPILOGUE;
+
+/// Generates the kernel: `scale` executions of a 96-op bytecode program.
+pub fn source(scale: u32) -> String {
+    format!(
+        r#"
+        .text
+main:   li   $s7, {scale}
+        # Lay down threaded bytecode: ops cycle PUSH,PUSH2,ADD,DUP,XOR,
+        # POPACC, stored premultiplied by 4 (threaded-code style).
+        la   $t0, bcode
+        li   $t1, 0
+lay:    li   $t6, 6
+        div  $t2, $t1, $t6
+        mul  $t3, $t2, $t6
+        sub  $t4, $t1, $t3       # t1 % 6
+        sll  $t4, $t4, 2         # premultiplied handler offset
+        sw   $t4, 0($t0)
+        addi $t0, $t0, 4
+        addi $t1, $t1, 1
+        slti $t5, $t1, 96
+        bnez $t5, lay
+
+        li   $s2, 0              # checksum (accumulator)
+outer:  la   $s0, bcode
+        la   $s6, masks
+        la   $s1, vstack
+        addi $s1, $s1, 128       # stack pointer (grows down)
+        la   $s4, handlers
+        li   $s3, 0              # bytecode pc (byte offset)
+        li   $s5, 1              # operand seed
+dispatch:
+        add  $t0, $s0, $s3
+        lw   $t1, 0($t0)         # premultiplied opcode
+        addi $s3, $s3, 4         # bytecode pc bump (chains across the
+                                 # fast-path branch below)
+        bnez $t1, slow           # inlined fast path for the hot opcode,
+                                 # as real interpreter loops have
+        addi $s5, $s5, 3         # PUSH inline: next operand
+        move $t8, $s5            # operand staging (move idiom)
+        addi $s1, $s1, -4        # push
+        sw   $t8, 0($s1)
+        j    next
+slow:   lwx  $t3, $s4, $t1       # handler address (no shift needed)
+        jr   $t3                 # indirect dispatch
+
+hpush:  addi $s5, $s5, 3         # (unreachable via fast path, kept for
+        move $t8, $s5            # table completeness)
+        addi $s1, $s1, -4
+        sw   $t8, 0($s1)
+        j    next
+hpush2: addi $s5, $s5, 5
+        move $t8, $s5
+        addi $s1, $s1, -4
+        sw   $t8, 0($s1)
+        j    next
+hadd:   lw   $t4, 0($s1)         # pop two, push sum
+        lw   $t5, 4($s1)
+        addi $s1, $s1, 4
+        add  $t6, $t4, $t5
+        sw   $t6, 0($s1)
+        j    next
+hdup:   lw   $t4, 0($s1)         # duplicate TOS
+        move $t5, $t4            # TOS cache (move idiom)
+        addi $s1, $s1, -4
+        sw   $t5, 0($s1)
+        j    next
+hxor:   lw   $t4, 0($s1)
+        lw   $t5, 4($s1)
+        addi $s1, $s1, 4
+        xor  $t6, $t4, $t5
+        andi $t7, $t6, 7
+        sll  $t7, $t7, 2
+        add  $t8, $s6, $t7       # mask table (shift+add)
+        lw   $t9, 0($t8)
+        xor  $t6, $t6, $t9
+        sw   $t6, 0($s1)
+        j    next
+hpop:   lw   $t4, 0($s1)         # pop into the accumulator
+        move $t5, $t4            # accumulator staging (move idiom)
+        addi $s1, $s1, 4
+        add  $s2, $s2, $t5
+next:   slti $t7, $s3, 384       # 96 ops * 4
+        bnez $t7, dispatch
+        addi $s7, $s7, -1
+        bgtz $s7, outer
+{EPILOGUE}
+        .data
+masks:  .word 0x5a, 0xa5, 0x3c, 0xc3, 0x0f, 0xf0, 0x55, 0xaa
+handlers:
+        .word hpush, hpush2, hadd, hdup, hxor, hpop
+bcode:  .space 384
+vstack: .space 160
+"#
+    )
+}

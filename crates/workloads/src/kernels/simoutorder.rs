@@ -1,0 +1,70 @@
+//! `sim-outorder` — an event-driven simulator simulating itself.
+//!
+//! Dominant patterns: circular event-queue management (head/tail index
+//! arithmetic with masking), bit-field extraction of packed event words,
+//! and ready-list scans. Table 2 targets: ≈4.9% moves, ≈1.1%
+//! reassociable, ≈3.1% scaled adds.
+
+use super::{init_data, EPILOGUE};
+
+/// Generates the kernel: `scale` rounds of enqueue/drain over a 64-entry
+/// circular event queue.
+pub fn source(scale: u32) -> String {
+    let init = init_data("evsrc", 64, 0x55a0);
+    format!(
+        r#"
+        .text
+main:   li   $s7, {scale}
+{init}
+        la   $s0, evq            # circular queue, 64 words
+        la   $s1, evsrc          # event source data
+        li   $s2, 0              # checksum
+outer:  li   $s3, 0              # head
+        li   $s4, 0              # tail
+        li   $s5, 0              # simulated clock
+        # enqueue 48 events: word = (latency << 8) | kind
+        li   $t0, 0
+enq:    sll  $t1, $t0, 2
+        lwx  $t2, $s1, $t1       # raw source word
+        andi $t3, $t2, 7         # kind
+        srl  $t4, $t2, 3
+        andi $t4, $t4, 63        # latency
+        sll  $t5, $t4, 8
+        or   $t5, $t5, $t3
+        sll  $t7, $s4, 2
+        andi $t7, $t7, 255       # wrap: the mask sits between the shift
+        add  $t8, $s0, $t7       # and the add, so no scaled add forms
+        sw   $t5, 0($t8)
+        addi $s4, $s4, 1
+        addi $t0, $t0, 1
+        slti $t9, $t0, 48
+        bnez $t9, enq
+        # drain: pop each event, advance the clock, tally by kind
+drain:  beq  $s3, $s4, drained
+        sll  $t1, $s3, 2
+        andi $t1, $t1, 255       # wrap
+        add  $t2, $s0, $t1       # head slot
+        lw   $t3, 0($t2)
+        addi $s3, $s3, 1
+        srl  $t4, $t3, 8         # latency
+        andi $t5, $t3, 255      # kind
+        add  $s5, $s5, $t4       # clock += latency
+        move $t6, $t5            # kind copy (move idiom)
+        beqz $t6, evnop
+        andi $t7, $t6, 1
+        beqz $t7, eveven
+        add  $s2, $s2, $t4       # odd kinds bill their latency
+        j    evnop
+eveven: addi $s2, $s2, 2
+evnop:  j    drain
+drained:
+        add  $s2, $s2, $s5
+        addi $s7, $s7, -1
+        bgtz $s7, outer
+{EPILOGUE}
+        .data
+evq:    .space 256
+evsrc:  .space 256
+"#
+    )
+}

@@ -1,0 +1,71 @@
+//! `tex` — dynamic-programming paragraph line breaking.
+//!
+//! Dominant patterns: a triangular nested loop over break candidates with
+//! two-level array indexing (costs and widths, shift+add addressing) and
+//! a running-minimum compare chain. Table 2 targets: ≈3.1% moves, ≈0.6%
+//! reassociable (the suite minimum), ≈5.2% scaled adds — and the paper
+//! reports tex as scaled adds' biggest winner (+8%).
+
+use super::{init_data, EPILOGUE};
+
+/// Generates the kernel: `scale` paragraphs of 48 boxes each.
+pub fn source(scale: u32) -> String {
+    let init = init_data("widths", 48, 0x7e80);
+    format!(
+        r#"
+        .text
+main:   li   $s7, {scale}
+{init}
+        # Clamp box widths to 1..=16.
+        la   $t0, widths
+        li   $t1, 48
+clamp:  lw   $t2, 0($t0)
+        andi $t2, $t2, 15
+        addi $t2, $t2, 1
+        sw   $t2, 0($t0)
+        addi $t0, $t0, 4
+        addi $t1, $t1, -1
+        bgtz $t1, clamp
+
+        la   $s0, widths
+        la   $s1, cost           # cost[i]: best cost ending line at box i
+        li   $s2, 0              # checksum
+outer:  sw   $zero, 0($s1)       # cost[0] = 0
+        li   $s3, 1              # i: current box
+iloop:  li   $s4, 0x7fff         # best = inf
+        move $s5, $s3            # j walks back from i (move idiom)
+        li   $s6, 0              # line width accumulator
+jloop:  addi $s5, $s5, -1        # previous break candidate
+        sll  $t0, $s5, 2
+        lwx  $t1, $s0, $t0       # widths[j] (indexed, scaled upstream)
+        add  $s6, $s6, $t1
+        slti $t2, $s6, 33        # line width limit 32
+        beqz $t2, jdone          # overfull: stop widening
+        # badness = (32 - width)^2 + cost[j]
+        li   $t3, 32
+        sub  $t4, $t3, $s6
+        mul  $t5, $t4, $t4
+        sll  $t6, $s5, 2
+        add  $t7, $s1, $t6       # &cost[j] (shift+add)
+        lw   $t8, 0($t7)
+        add  $t9, $t5, $t8
+        slt  $t0, $t9, $s4
+        beqz $t0, jnext
+        move $s4, $t9            # new minimum (move idiom)
+jnext:  bgtz $s5, jloop
+jdone:  sll  $t1, $s3, 2
+        add  $t2, $s1, $t1       # &cost[i] (shift+add)
+        sw   $s4, 0($t2)
+        add  $s2, $s2, $s4
+        addi $s3, $s3, 1
+        slti $t3, $s3, 48
+        bnez $t3, iloop
+        addi $s7, $s7, -1
+        bgtz $s7, outer
+{EPILOGUE}
+        .data
+widths: .space 192
+cost:   .space 192
+"#
+    )
+}

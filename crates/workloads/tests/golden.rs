@@ -1,0 +1,54 @@
+//! Golden-output regression: every kernel's instruction count and checksum
+//! at scale 2 are pinned. Any change to a kernel's code or to the
+//! interpreter's semantics that alters observable behaviour shows up here
+//! immediately (and deliberate kernel changes must update this table and
+//! re-run the calibration in EXPERIMENTS.md).
+
+use tracefill_isa::interp::Interp;
+
+const GOLDEN: &[(&str, u64, &[u32])] = &[
+    ("comp", 33297, &[590844]),
+    ("gcc", 25048, &[1590]),
+    ("go", 19482, &[1760]),
+    ("ijpeg", 43508, &[3675095376]),
+    ("li", 5592, &[15872]),
+    ("m88k", 4588, &[664122]),
+    ("perl", 3940, &[2168]),
+    ("vor", 4099, &[884196618]),
+    ("ch", 4428, &[322]),
+    ("gs", 29264, &[14032]),
+    ("pgp", 1901, &[16]),
+    ("plot", 5200, &[166708]),
+    ("py", 3621, &[2880]),
+    ("ss", 3496, &[5096]),
+    ("tex", 7307, &[34362]),
+];
+
+#[test]
+fn kernel_outputs_are_pinned() {
+    for &(name, icount, output) in GOLDEN {
+        let b = tracefill_workloads::by_name(name).unwrap();
+        let prog = b.program(2).unwrap();
+        let mut i = Interp::new(&prog);
+        i.run(100_000_000).unwrap();
+        assert_eq!(i.icount(), icount, "{name}: instruction count drifted");
+        assert_eq!(i.io().output, output, "{name}: checksum drifted");
+    }
+}
+
+#[test]
+fn scale_is_monotone_in_work() {
+    for b in tracefill_workloads::suite() {
+        let count = |scale| {
+            let mut i = Interp::new(&b.program(scale).unwrap());
+            i.run(100_000_000).unwrap();
+            i.icount()
+        };
+        let (c1, c3) = (count(1), count(3));
+        assert!(
+            c3 > c1 + b.instrs_per_scale as u64 / 2,
+            "{}: scaling barely changes work ({c1} -> {c3})",
+            b.name
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Optimization explorer: run any suite benchmark under any combination
+//! of the four fill-unit optimizations.
+//!
+//! ```text
+//! cargo run --release -p tracefill-bench --example optimization_explorer -- m88k moves,reassoc
+//! cargo run --release -p tracefill-bench --example optimization_explorer -- ch all
+//! cargo run --release -p tracefill-bench --example optimization_explorer        # whole suite, all opts
+//! ```
+
+use tracefill_core::config::OptConfig;
+use tracefill_sim::{SimConfig, Simulator};
+use tracefill_workloads::Benchmark;
+
+fn parse_opts(spec: &str) -> OptConfig {
+    if spec == "all" {
+        return OptConfig::all();
+    }
+    let mut o = OptConfig::none();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        match part {
+            "moves" => o.moves = true,
+            "reassoc" => o.reassoc = true,
+            "scadd" => o.scadd = true,
+            "placement" | "place" => o.placement = true,
+            "none" => {}
+            other => {
+                eprintln!("unknown optimization `{other}` (use moves,reassoc,scadd,placement,all)");
+                std::process::exit(2);
+            }
+        }
+    }
+    o
+}
+
+fn measure(b: &Benchmark, opts: OptConfig) -> (f64, f64) {
+    let prog = b.program(b.scale_for(300_000)).unwrap();
+    let mut base = Simulator::new(&prog, SimConfig::default());
+    base.run_instrs(150_000).unwrap();
+    let mut opt = Simulator::new(&prog, SimConfig::with_opts(opts));
+    opt.run_instrs(150_000).unwrap();
+    (base.stats().ipc(), opt.stats().ipc())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let spec = args.get(1).map(String::as_str).unwrap_or("all");
+    let opts = parse_opts(spec);
+
+    let benches: Vec<Benchmark> = match args.first() {
+        Some(name) => vec![tracefill_workloads::by_name(name).unwrap_or_else(|| {
+            eprintln!("unknown benchmark `{name}`; the suite:");
+            for b in tracefill_workloads::suite() {
+                eprintln!("  {:6} {}", b.name, b.description);
+            }
+            std::process::exit(2);
+        })],
+        None => tracefill_workloads::suite(),
+    };
+
+    println!("optimizations: {spec}");
+    println!("{:6} {:>9} {:>9} {:>8}", "bench", "base IPC", "opt IPC", "delta");
+    for b in &benches {
+        let (base, opt) = measure(b, opts);
+        println!(
+            "{:6} {:9.3} {:9.3} {:+7.1}%",
+            b.name,
+            base,
+            opt,
+            (opt / base - 1.0) * 100.0
+        );
+    }
+}

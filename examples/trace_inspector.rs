@@ -1,0 +1,107 @@
+//! Trace inspector: build segments from a program's retire stream and
+//! pretty-print what the fill unit did to one of them — dependency
+//! marking, move bits, rewritten immediates, scaled-add annotations and
+//! the placement permutation.
+//!
+//! ```text
+//! cargo run --release -p tracefill-bench --example trace_inspector -- m88k
+//! ```
+
+use tracefill_core::builder::{build_segments, FillInput};
+use tracefill_core::config::{ClusterConfig, FillConfig, OptConfig};
+use tracefill_core::opt;
+use tracefill_core::segment::{Segment, SrcRef};
+
+fn describe(seg: &Segment, clusters: &ClusterConfig) {
+    println!(
+        "segment @ {:#x}: {} instructions, {} conditional branches, ends {:?}",
+        seg.start_pc,
+        seg.slots.len(),
+        seg.branches.len(),
+        seg.end
+    );
+    let header = "annotations";
+    println!(
+        "{:>3} {:>4} {:28} {:>10} {:>14} {header}",
+        "pos", "cl", "instruction", "block", "sources"
+    );
+    for (i, slot) in seg.slots.iter().enumerate() {
+        let srcs: Vec<String> = slot
+            .src_refs()
+            .map(|(_, r)| match r {
+                SrcRef::LiveIn(reg) => format!("in:{reg}"),
+                SrcRef::Internal(p) => format!("#{p}"),
+            })
+            .collect();
+        let mut notes = Vec::new();
+        if slot.is_move {
+            notes.push("MOVE (rename-executed)".to_string());
+        }
+        if slot.reassociated {
+            notes.push(format!("REASSOC imm {} -> {}", slot.orig.imm, slot.imm));
+        }
+        if let Some(sc) = slot.scadd {
+            notes.push(format!("SCADD src{} << {}", sc.src, sc.shift));
+        }
+        if let Some(t) = slot.taken {
+            notes.push(format!("path:{}", if t { "T" } else { "N" }));
+        }
+        println!(
+            "{:>3} {:>4} {:28} {:>10} {:>14} {}",
+            seg.issue_pos[i],
+            clusters.cluster_of(seg.issue_pos[i]),
+            slot.orig.to_string(),
+            slot.block,
+            srcs.join(","),
+            notes.join("  ")
+        );
+    }
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "m88k".into());
+    let b = tracefill_workloads::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{name}`");
+        std::process::exit(2);
+    });
+    let prog = b.program(4).unwrap();
+
+    // Collect a slice of the retire stream via the functional interpreter.
+    let mut interp = tracefill_isa::interp::Interp::new(&prog);
+    let mut stream = Vec::new();
+    for _ in 0..6_000 {
+        let r = interp.step().unwrap();
+        if r.halt.is_some() {
+            break;
+        }
+        stream.push(FillInput {
+            pc: r.pc,
+            instr: r.instr,
+            taken: r.taken,
+            promoted: None,
+            fetch_miss_head: false,
+        });
+    }
+
+    let cfg = FillConfig::default();
+    let clusters = ClusterConfig::default();
+    let segs = build_segments(&stream, &cfg);
+    // Pick the most transformable segment from the steady state.
+    let mut best: Option<(u64, Segment)> = None;
+    for seg in segs.into_iter().skip(20) {
+        let mut optimized = seg.clone();
+        let counts = opt::apply_all(&mut optimized, &OptConfig::all(), &clusters);
+        let score = counts.transformed_instrs();
+        if best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
+            best = Some((score, optimized));
+        }
+    }
+    let (score, seg) = best.expect("program produced segments");
+    println!(
+        "most-transformed steady-state segment of `{}` ({} instructions rewritten):\n",
+        b.name, score
+    );
+    describe(&seg, &clusters);
+    println!("\n(positions are issue slots; cl = execution cluster; #n = the");
+    println!(" output of slot n; in:$r = architectural value at segment entry)");
+}

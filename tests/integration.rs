@@ -1,0 +1,106 @@
+//! Cross-crate integration: the whole suite runs on the whole machine,
+//! architecturally verified, under representative configurations.
+//!
+//! Every simulator run here has oracle lockstep enabled: the test passing
+//! means every retired register write, store, branch direction and
+//! indirect target matched the functional interpreter, through wrong-path
+//! execution, inactive issue, checkpoint repair and all four fill-unit
+//! optimizations.
+
+use tracefill_core::config::OptConfig;
+use tracefill_sim::{SimConfig, Simulator};
+
+const WINDOW: u64 = 25_000;
+
+#[test]
+fn whole_suite_runs_verified_on_the_baseline() {
+    for b in tracefill_workloads::suite() {
+        let prog = b.program(b.scale_for(2 * WINDOW)).unwrap();
+        let mut sim = Simulator::new(&prog, SimConfig::default());
+        sim.run_instrs(WINDOW)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert!(sim.stats().retired >= WINDOW, "{}: ended early", b.name);
+        assert!(sim.stats().ipc() > 0.2, "{}: implausible IPC", b.name);
+    }
+}
+
+#[test]
+fn whole_suite_runs_verified_with_all_optimizations() {
+    // A longer window: transformed instructions only retire once the trace
+    // cache is warm enough to supply optimized lines.
+    let window = 3 * WINDOW;
+    for b in tracefill_workloads::suite() {
+        let prog = b.program(b.scale_for(2 * window)).unwrap();
+        let mut sim = Simulator::new(&prog, SimConfig::with_opts(OptConfig::all()));
+        sim.run_instrs(window)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let s = sim.stats();
+        assert!(s.retired >= window, "{}: ended early", b.name);
+        // Every kernel exercises at least one optimization dynamically.
+        assert!(
+            s.retired_moves + s.retired_reassoc + s.retired_scadd > 0,
+            "{}: no transformed instructions retired",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn suite_outputs_match_the_interpreter_end_to_end() {
+    // Short full runs to completion: simulator output == interpreter output.
+    for b in tracefill_workloads::suite() {
+        let prog = b.program(2).unwrap();
+        let mut interp = tracefill_isa::interp::Interp::new(&prog);
+        interp.run(20_000_000).unwrap();
+
+        let mut sim = Simulator::new(&prog, SimConfig::with_opts(OptConfig::all()));
+        let exit = sim.run(80_000_000).unwrap();
+        assert!(
+            matches!(exit, tracefill_sim::RunExit::Exited(_)),
+            "{}: {exit:?}",
+            b.name
+        );
+        assert_eq!(sim.io().output, interp.io().output, "{}", b.name);
+    }
+}
+
+#[test]
+fn fill_latency_changes_do_not_break_anything() {
+    let b = tracefill_workloads::by_name("ijpeg").unwrap();
+    let prog = b.program(b.scale_for(2 * WINDOW)).unwrap();
+    for lat in [0u32, 1, 5, 10, 40] {
+        let mut cfg = SimConfig::with_opts(OptConfig::all());
+        cfg.fill.latency = lat;
+        let mut sim = Simulator::new(&prog, cfg);
+        sim.run_instrs(WINDOW)
+            .unwrap_or_else(|e| panic!("latency {lat}: {e}"));
+    }
+}
+
+#[test]
+fn characterization_matches_runtime_transformation_counts() {
+    // The offline characterizer and the pipeline's retire-time accounting
+    // view the same fill unit; their densities must roughly agree.
+    let b = tracefill_workloads::by_name("plot").unwrap();
+    let prog = b.program(b.scale_for(120_000)).unwrap();
+    let offline = tracefill_workloads::characterize(&prog, 60_000);
+
+    let mut sim = Simulator::new(&prog, SimConfig::with_opts(OptConfig::all()));
+    sim.run_instrs(60_000).unwrap();
+    let s = sim.stats();
+    let online = s.retired_moves as f64 / s.retired as f64;
+    assert!(
+        (online - offline.moves).abs() < 0.05,
+        "move densities diverge: online {online:.3} vs offline {:.3}",
+        offline.moves
+    );
+}
+
+#[test]
+fn generated_workloads_run_on_the_full_machine() {
+    use tracefill_workloads::gen::{generate, PatternMix};
+    let prog = generate(&PatternMix::default(), 32, 5_000, 42).unwrap();
+    let mut sim = Simulator::new(&prog, SimConfig::with_opts(OptConfig::all()));
+    sim.run_instrs(WINDOW).unwrap();
+    assert!(sim.stats().retired >= WINDOW);
+}

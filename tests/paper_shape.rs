@@ -1,0 +1,170 @@
+//! Shape checks against the paper's evaluation: not absolute numbers (our
+//! substrate is a synthetic-workload simulator, not the authors' testbed)
+//! but the qualitative claims — who wins, roughly where, and what does
+//! not matter.
+
+use tracefill_core::config::OptConfig;
+use tracefill_sim::{SimConfig, Simulator};
+use tracefill_workloads::Benchmark;
+
+const WARMUP: u64 = 30_000;
+const WINDOW: u64 = 60_000;
+
+fn ipc(b: &Benchmark, cfg: SimConfig) -> f64 {
+    let prog = b.program(b.scale_for(2 * (WARMUP + WINDOW))).unwrap();
+    let mut sim = Simulator::new(&prog, cfg);
+    sim.run_instrs(WARMUP).unwrap();
+    let (c0, r0) = (sim.cycle(), sim.stats().retired);
+    sim.run_instrs(WINDOW).unwrap();
+    (sim.stats().retired - r0) as f64 / (sim.cycle() - c0) as f64
+}
+
+fn improvement(b: &Benchmark, opts: OptConfig) -> f64 {
+    ipc(b, SimConfig::with_opts(opts)) / ipc(b, SimConfig::default()) - 1.0
+}
+
+#[test]
+fn combined_optimizations_help_on_geomean() {
+    // Paper: ~+18% across the suite. Our synthetic suite reproduces the
+    // direction and a substantial fraction of the magnitude.
+    let mut ln_sum = 0.0;
+    for b in tracefill_workloads::suite() {
+        ln_sum += (1.0 + improvement(&b, OptConfig::all())).ln();
+    }
+    let geo = (ln_sum / 15.0).exp() - 1.0;
+    assert!(
+        geo > 0.03,
+        "combined optimizations should clearly help (got {:+.1}%)",
+        geo * 100.0
+    );
+}
+
+#[test]
+fn moves_help_the_move_dense_benchmarks() {
+    // Paper fig 3: ~5% average; the win tracks move density.
+    let plot = improvement(&tracefill_workloads::by_name("plot").unwrap(), OptConfig::only_moves());
+    let gcc = improvement(&tracefill_workloads::by_name("gcc").unwrap(), OptConfig::only_moves());
+    assert!(plot > 0.05, "gnuplot should gain >5% from moves, got {plot:+.3}");
+    assert!(gcc > 0.03, "gcc should gain >3% from moves, got {gcc:+.3}");
+}
+
+#[test]
+fn fill_unit_latency_is_negligible() {
+    // Paper fig 8: latencies of 1, 5 and 10 cycles perform the same.
+    let b = tracefill_workloads::by_name("ijpeg").unwrap();
+    let mut ipcs = Vec::new();
+    for lat in [1u32, 5, 10] {
+        let mut cfg = SimConfig::with_opts(OptConfig::all());
+        cfg.fill.latency = lat;
+        ipcs.push(ipc(&b, cfg));
+    }
+    let spread = (ipcs.iter().cloned().fold(f64::MIN, f64::max)
+        - ipcs.iter().cloned().fold(f64::MAX, f64::min))
+        / ipcs[0];
+    assert!(
+        spread < 0.05,
+        "fill latency should be negligible; IPCs {ipcs:?}"
+    );
+}
+
+#[test]
+fn placement_reduces_bypass_delays_on_parallel_chain_code() {
+    // Paper fig 7: placement cuts the delayed fraction (35% -> 29%).
+    // The effect is cleanest where independent chains dominate.
+    let src = r#"
+        .text
+main:   li   $s7, 60000
+        li   $s0, 1
+        li   $s1, 1
+        li   $s2, 1
+        li   $s3, 1
+loop:   xor  $s0, $s0, $s7
+        xor  $s1, $s1, $s7
+        xor  $s2, $s2, $s7
+        xor  $s3, $s3, $s7
+        add  $s0, $s0, $s0
+        add  $s1, $s1, $s1
+        add  $s2, $s2, $s2
+        add  $s3, $s3, $s3
+        xor  $s0, $s0, $s1
+        xor  $s1, $s1, $s2
+        xor  $s2, $s2, $s3
+        xor  $s3, $s3, $s0
+        addi $s7, $s7, -1
+        bgtz $s7, loop
+        li   $v0, 10
+        syscall
+"#;
+    let prog = tracefill_isa::asm::assemble(src).unwrap();
+    let frac = |opts: OptConfig| {
+        let mut sim = Simulator::new(&prog, SimConfig::with_opts(opts));
+        sim.run_instrs(WARMUP + WINDOW).unwrap();
+        (
+            sim.stats().bypass_delay_fraction(),
+            sim.stats().ipc(),
+        )
+    };
+    let (base_frac, base_ipc) = frac(OptConfig::none());
+    let (place_frac, place_ipc) = frac(OptConfig::only_placement());
+    assert!(
+        place_frac < base_frac * 0.85,
+        "placement should cut bypass delays: {base_frac:.3} -> {place_frac:.3}"
+    );
+    assert!(
+        place_ipc > base_ipc * 1.05,
+        "placement should speed up chain code: {base_ipc:.3} -> {place_ipc:.3}"
+    );
+}
+
+#[test]
+fn reassociation_favors_the_chain_heavy_benchmarks() {
+    // Paper fig 4 + table 2: m88ksim leads because its stream is the most
+    // reassociable; most benchmarks see only 1-2%.
+    let m88k = tracefill_workloads::by_name("m88k").unwrap();
+    let go = tracefill_workloads::by_name("go").unwrap();
+    let prog_m = m88k.program(m88k.scale_for(80_000)).unwrap();
+    let prog_g = go.program(go.scale_for(80_000)).unwrap();
+    let cm = tracefill_workloads::characterize(&prog_m, 60_000);
+    let cg = tracefill_workloads::characterize(&prog_g, 60_000);
+    assert!(
+        cm.reassoc > cg.reassoc,
+        "m88ksim must be more reassociable than go ({:.3} vs {:.3})",
+        cm.reassoc,
+        cg.reassoc
+    );
+}
+
+#[test]
+fn scaled_adds_favor_the_array_benchmarks() {
+    // Paper fig 5 + table 2: go leads on shift+add density.
+    let go = tracefill_workloads::by_name("go").unwrap();
+    let pgp = tracefill_workloads::by_name("pgp").unwrap();
+    let prog_go = go.program(go.scale_for(80_000)).unwrap();
+    let prog_pgp = pgp.program(pgp.scale_for(80_000)).unwrap();
+    let cgo = tracefill_workloads::characterize(&prog_go, 60_000);
+    let cpgp = tracefill_workloads::characterize(&prog_pgp, 60_000);
+    assert!(
+        cgo.scadd > cpgp.scadd,
+        "go must out-scadd pgp ({:.3} vs {:.3})",
+        cgo.scadd,
+        cpgp.scadd
+    );
+}
+
+#[test]
+fn transformed_fraction_is_in_the_paper_ballpark() {
+    // Paper table 2: on average ~13% of instructions get some
+    // transformation; every benchmark lands between ~8% and ~22%.
+    let mut total = 0.0;
+    for b in tracefill_workloads::suite() {
+        let prog = b.program(b.scale_for(120_000)).unwrap();
+        let mut sim = Simulator::new(&prog, SimConfig::with_opts(OptConfig::all()));
+        sim.run_instrs(60_000).unwrap();
+        total += sim.stats().transformed_fraction();
+    }
+    let mean = total / 15.0;
+    assert!(
+        (0.05..0.30).contains(&mean),
+        "mean transformed fraction {mean:.3} outside the plausible band"
+    );
+}

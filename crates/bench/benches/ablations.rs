@@ -48,7 +48,9 @@ fn main() {
         c.bias.threshold = 16;
         c
     });
-    let all = sweep("all optimizations", &|| SimConfig::with_opts(OptConfig::all()));
+    let all = sweep("all optimizations", &|| {
+        SimConfig::with_opts(OptConfig::all())
+    });
     sweep("all opts, in-block reassoc allowed", &|| {
         let mut o = OptConfig::all();
         o.reassoc_cross_block_only = false;

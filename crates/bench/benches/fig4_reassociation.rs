@@ -6,16 +6,12 @@ use tracefill_bench::improvement_table;
 use tracefill_core::config::OptConfig;
 
 fn main() {
-    improvement_table(
-        "Figure 4: reassociation",
-        OptConfig::only_reassoc(),
-        &|b| {
-            Some(match b.name {
-                "m88k" | "ch" => 23.0,
-                "ijpeg" => 6.0,
-                "gs" => 8.0,
-                _ => 1.5,
-            })
-        },
-    );
+    improvement_table("Figure 4: reassociation", OptConfig::only_reassoc(), &|b| {
+        Some(match b.name {
+            "m88k" | "ch" => 23.0,
+            "ijpeg" => 6.0,
+            "gs" => 8.0,
+            _ => 1.5,
+        })
+    });
 }

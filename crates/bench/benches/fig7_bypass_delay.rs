@@ -8,10 +8,7 @@ use tracefill_core::config::OptConfig;
 
 fn main() {
     println!("=== Figure 7: bypass-delayed instructions (paper: ~35% -> ~29%) ===");
-    println!(
-        "{:6} {:>10} {:>11}",
-        "bench", "baseline%", "placement%"
-    );
+    println!("{:6} {:>10} {:>11}", "bench", "baseline%", "placement%");
     let (mut sb, mut sp, mut n) = (0.0, 0.0, 0.0);
     for b in tracefill_workloads::suite() {
         let base = run_opts(&b, OptConfig::none());

@@ -3,48 +3,18 @@
 //! cycles. The paper: ~+18% mean at any latency (fill latency has a
 //! negligible impact); m88ksim +44%, chess +38%, compress/gcc/go/gnuplot
 //! +13-14%.
+//!
+//! This target runs through the campaign engine: the grid is executed in
+//! parallel into a resumable JSONL store under `target/campaigns/`, so a
+//! killed run picks up where it left off, and the table is rendered from
+//! the store alone — `tracefill report <store>` reproduces it.
 
-use tracefill_bench::{run_opts, run_with};
-use tracefill_core::config::OptConfig;
-use tracefill_sim::SimConfig;
+use tracefill_bench::campaign_records;
+use tracefill_harness::{report, CampaignSpec};
 
 fn main() {
     println!("=== Figure 8: combined optimizations at fill latency 1/5/10 ===");
-    println!(
-        "{:6} {:>9} {:>8} {:>8} {:>8} {:>9}",
-        "bench", "base IPC", "lat 1", "lat 5", "lat 10", "paper"
-    );
-    let mut means = [0.0f64; 3];
-    let mut n = 0.0;
-    for b in tracefill_workloads::suite() {
-        let base = run_opts(&b, OptConfig::none());
-        let mut imps = [0.0f64; 3];
-        for (i, lat) in [1u32, 5, 10].into_iter().enumerate() {
-            let mut cfg = SimConfig::with_opts(OptConfig::all());
-            cfg.fill.latency = lat;
-            let r = run_with(&b, cfg);
-            imps[i] = (r.ipc / base.ipc - 1.0) * 100.0;
-            means[i] += imps[i];
-        }
-        let paper = match b.name {
-            "m88k" => "+44%",
-            "ch" => "+38%",
-            "comp" | "gcc" | "go" | "plot" => "+13-14%",
-            _ => "~+18%",
-        };
-        println!(
-            "{:6} {:9.3} {:+7.1}% {:+7.1}% {:+7.1}% {:>9}",
-            b.name, base.ipc, imps[0], imps[1], imps[2], paper
-        );
-        n += 1.0;
-    }
-    println!(
-        "{:6} {:>9} {:+7.1}% {:+7.1}% {:+7.1}% {:>9}",
-        "mean",
-        "",
-        means[0] / n,
-        means[1] / n,
-        means[2] / n,
-        "+18%"
-    );
+    let records = campaign_records(CampaignSpec::fig8());
+    print!("{}", report::fig8_table(&records));
+    println!("paper: ~+18% mean at any latency; m88k +44%, ch +38%, comp/gcc/go/plot +13-14%");
 }

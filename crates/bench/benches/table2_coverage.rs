@@ -1,46 +1,17 @@
 //! Regenerates Table 2: the percentage of correct-path instructions to
 //! which each transformation was applied, measured at retirement with all
 //! optimizations enabled. The paper's mean is ~13%.
+//!
+//! This target runs through the campaign engine: the grid is executed in
+//! parallel into a resumable JSONL store under `target/campaigns/`, and
+//! the table is rendered from the store alone — `tracefill report <store>`
+//! reproduces it.
 
-use tracefill_bench::run_opts;
-use tracefill_core::config::OptConfig;
+use tracefill_bench::campaign_records;
+use tracefill_harness::{report, CampaignSpec};
 
 fn main() {
     println!("=== Table 2: % of retired instructions transformed ===");
-    println!(
-        "{:6} | {:>6} {:>8} {:>6} {:>6} | {:>6} {:>8} {:>6} {:>6}",
-        "", "ours", "", "", "", "paper", "", "", ""
-    );
-    println!(
-        "{:6} | {:>6} {:>8} {:>6} {:>6} | {:>6} {:>8} {:>6} {:>6}",
-        "bench", "moves", "reassoc", "scadd", "total", "moves", "reassoc", "scadd", "total"
-    );
-    let mut tot = 0.0;
-    let mut n = 0.0;
-    for b in tracefill_workloads::suite() {
-        let r = run_opts(&b, OptConfig::all());
-        let s = r.stats;
-        let ret = s.retired.max(1) as f64;
-        let (m, re, sc) = (
-            s.retired_moves as f64 / ret * 100.0,
-            s.retired_reassoc as f64 / ret * 100.0,
-            s.retired_scadd as f64 / ret * 100.0,
-        );
-        let t = b.table2;
-        println!(
-            "{:6} | {:6.1} {:8.1} {:6.1} {:6.1} | {:6.1} {:8.1} {:6.1} {:6.1}",
-            b.name,
-            m,
-            re,
-            sc,
-            m + re + sc,
-            t.moves,
-            t.reassoc,
-            t.scadd,
-            t.total
-        );
-        tot += m + re + sc;
-        n += 1.0;
-    }
-    println!("mean total: ours {:.1}%  paper 13.3%", tot / n);
+    let records = campaign_records(CampaignSpec::table2());
+    print!("{}", report::table2_table(&records));
 }

@@ -7,10 +7,17 @@
 //! tracefill interp <file.s> [--input 1,2,3]
 //! tracefill characterize <file.s>
 //! tracefill suite [--opts SPEC] [--budget N]
+//! tracefill campaign <fig8|table2|spec.json> [--out results.jsonl] [--jobs N] [--quiet]
+//! tracefill report <results.jsonl> [--format fig8|table2|summary|all]
 //! ```
+//!
+//! Numeric flags are parsed strictly: a malformed value is a usage error
+//! (exit 2), never a silent fall-back to the default.
 
 use std::process::exit;
 use tracefill_core::config::OptConfig;
+use tracefill_harness::grid::parse_opt_spec;
+use tracefill_harness::{report, run_campaign, store, CampaignSpec, ResultStore};
 use tracefill_isa::asm::assemble;
 use tracefill_isa::interp::Interp;
 use tracefill_isa::syscall::IoCtx;
@@ -24,6 +31,8 @@ fn usage() -> ! {
   tracefill interp <file.s> [--input a,b,c]
   tracefill characterize <file.s>
   tracefill suite [--opts SPEC] [--budget N]
+  tracefill campaign <fig8|table2|spec.json> [--out results.jsonl] [--jobs N] [--quiet]
+  tracefill report <results.jsonl> [--format fig8|table2|summary|all]
 
 SPEC is `all`, `none`, or a comma list of: moves reassoc scadd placement cse"
     );
@@ -31,32 +40,35 @@ SPEC is `all`, `none`, or a comma list of: moves reassoc scadd placement cse"
 }
 
 fn parse_opts(spec: &str) -> OptConfig {
-    match spec {
-        "all" => return OptConfig::all(),
-        "none" => return OptConfig::none(),
-        _ => {}
-    }
-    let mut o = OptConfig::none();
-    for part in spec.split(',').filter(|p| !p.is_empty()) {
-        match part {
-            "moves" => o.moves = true,
-            "reassoc" => o.reassoc = true,
-            "scadd" => o.scadd = true,
-            "placement" | "place" => o.placement = true,
-            "cse" => o.cse = true,
-            other => {
-                eprintln!("unknown optimization `{other}`");
-                usage();
-            }
-        }
-    }
-    o
+    parse_opt_spec(spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage();
+    })
 }
 
+/// The value following `name`, if the flag is present. A flag given
+/// without a value is a usage error.
 fn flag_value(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
+    let i = args.iter().position(|a| a == name)?;
+    match args.get(i + 1) {
+        Some(v) => Some(v.clone()),
+        None => {
+            eprintln!("{name} requires a value");
+            exit(2);
+        }
+    }
+}
+
+/// Strict numeric flag: absent → `default`; present but malformed →
+/// usage error (exit 2). Never silently falls back.
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match flag_value(args, name) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value `{v}` for {name}");
+            exit(2);
+        }),
+    }
 }
 
 fn load(path: &str) -> Program {
@@ -72,14 +84,12 @@ fn load(path: &str) -> Program {
 
 fn parse_input(args: &[String]) -> IoCtx {
     match flag_value(args, "--input") {
-        Some(list) => IoCtx::with_input(
-            list.split(',')
-                .filter(|p| !p.is_empty())
-                .map(|p| p.parse().unwrap_or_else(|_| {
-                    eprintln!("bad input value `{p}`");
-                    exit(2);
-                })),
-        ),
+        Some(list) => IoCtx::with_input(list.split(',').filter(|p| !p.is_empty()).map(|p| {
+            p.parse().unwrap_or_else(|_| {
+                eprintln!("bad input value `{p}`");
+                exit(2);
+            })
+        })),
         None => IoCtx::default(),
     }
 }
@@ -88,13 +98,9 @@ fn cmd_run(args: &[String]) {
     let Some(path) = args.first() else { usage() };
     let prog = load(path);
     let opts = parse_opts(&flag_value(args, "--opts").unwrap_or_else(|| "all".into()));
-    let max_cycles: u64 = flag_value(args, "--max-cycles")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(200_000_000);
+    let max_cycles: u64 = parse_flag(args, "--max-cycles", 200_000_000);
     let json = args.iter().any(|a| a == "--json");
-    let trace_depth: usize = flag_value(args, "--trace")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
+    let trace_depth: usize = parse_flag(args, "--trace", 0);
 
     let cfg = SimConfig {
         trace_depth,
@@ -107,7 +113,7 @@ fn cmd_run(args: &[String]) {
     });
     let report = sim.report();
     if json {
-        println!("{}", serde_json::to_string_pretty(&report).unwrap());
+        println!("{}", report.to_json().dump_pretty(2));
         return;
     }
     let s = report.stats;
@@ -163,15 +169,20 @@ fn cmd_characterize(args: &[String]) {
     println!("scaled-add pairs      : {:5.2}%", c.scadd * 100.0);
     println!("total transformable   : {:5.2}%", c.total() * 100.0);
     println!("conditional branches  : {:5.2}%", c.branches * 100.0);
-    println!("loads / stores        : {:5.2}% / {:.2}%", c.loads * 100.0, c.stores * 100.0);
+    println!(
+        "loads / stores        : {:5.2}% / {:.2}%",
+        c.loads * 100.0,
+        c.stores * 100.0
+    );
 }
 
 fn cmd_suite(args: &[String]) {
     let opts = parse_opts(&flag_value(args, "--opts").unwrap_or_else(|| "all".into()));
-    let budget: u64 = flag_value(args, "--budget")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(100_000);
-    println!("{:6} {:>9} {:>9} {:>8}", "bench", "base IPC", "opt IPC", "delta");
+    let budget: u64 = parse_flag(args, "--budget", 100_000);
+    println!(
+        "{:6} {:>9} {:>9} {:>8}",
+        "bench", "base IPC", "opt IPC", "delta"
+    );
     for b in tracefill_workloads::suite() {
         let prog = b.program(b.scale_for(3 * budget)).unwrap();
         let measure = |o: OptConfig| {
@@ -193,6 +204,95 @@ fn cmd_suite(args: &[String]) {
     }
 }
 
+/// Resolves a campaign argument: a builtin name (`fig8`, `table2`) or a
+/// path to a JSON spec file.
+fn load_spec(arg: &str) -> CampaignSpec {
+    if let Some(spec) = CampaignSpec::builtin(arg) {
+        return spec;
+    }
+    let text = std::fs::read_to_string(arg).unwrap_or_else(|e| {
+        eprintln!("`{arg}` is not a builtin campaign (fig8, table2) and cannot be read as a spec file: {e}");
+        exit(1);
+    });
+    CampaignSpec::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("{arg}: {e}");
+        exit(1);
+    })
+}
+
+fn cmd_campaign(args: &[String]) {
+    let Some(spec_arg) = args.first().filter(|a| !a.starts_with("--")) else {
+        usage()
+    };
+    let spec = load_spec(spec_arg);
+    let out = flag_value(args, "--out").unwrap_or_else(|| format!("{}.jsonl", spec.name));
+    let default_jobs = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let jobs: usize = parse_flag(args, "--jobs", default_jobs);
+    if jobs == 0 {
+        eprintln!("--jobs must be at least 1");
+        exit(2);
+    }
+    let quiet = args.iter().any(|a| a == "--quiet");
+
+    let mut store = ResultStore::open(&out).unwrap_or_else(|e| {
+        eprintln!("cannot open {out}: {e}");
+        exit(1);
+    });
+    let summary = run_campaign(&spec, &mut store, jobs, !quiet).unwrap_or_else(|e| {
+        eprintln!("campaign failed: {e}");
+        exit(1);
+    });
+    println!(
+        "campaign `{}`: {} runs ({} resumed, {} executed, {} failed) in {:.1}s -> {}",
+        spec.name,
+        summary.total,
+        summary.skipped,
+        summary.executed,
+        summary.failed,
+        summary.wall_ms as f64 / 1000.0,
+        out,
+    );
+    if summary.failed > 0 {
+        eprintln!(
+            "note: {} run(s) did not finish Ok; see `tracefill report {out} --format summary`",
+            summary.failed
+        );
+    }
+}
+
+fn cmd_report(args: &[String]) {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        usage()
+    };
+    let records = store::load_records(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    if records.is_empty() {
+        eprintln!("{path}: no parseable run records");
+        exit(1);
+    }
+    let format = flag_value(args, "--format").unwrap_or_else(|| "all".into());
+    match format.as_str() {
+        "fig8" => print!("{}", report::fig8_table(&records)),
+        "table2" => print!("{}", report::table2_table(&records)),
+        "summary" => print!("{}", report::summary(&records)),
+        "all" => {
+            print!("{}", report::summary(&records));
+            println!();
+            print!("{}", report::fig8_table(&records));
+            println!();
+            print!("{}", report::table2_table(&records));
+        }
+        other => {
+            eprintln!("unknown report format `{other}` (expected fig8, table2, summary, all)");
+            exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -200,6 +300,8 @@ fn main() {
         Some("interp") => cmd_interp(&args[1..]),
         Some("characterize") => cmd_characterize(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         _ => usage(),
     }
 }

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 use tracefill_core::config::OptConfig;
+use tracefill_harness::{run_campaign, CampaignSpec, ResultStore, RunRecord};
 use tracefill_sim::{SimConfig, Simulator, Stats};
 use tracefill_workloads::Benchmark;
 
@@ -83,13 +84,54 @@ pub fn run_opts(bench: &Benchmark, opts: OptConfig) -> RunResult {
     run_with(bench, SimConfig::with_opts(opts))
 }
 
+/// Runs `spec` through the campaign engine into a resumable store under
+/// `target/campaigns/` and returns every recorded row.
+///
+/// The store path is keyed by campaign name and window sizes
+/// (`TRACEFILL_WARMUP`/`TRACEFILL_BUDGET` override the spec's windows), so
+/// a killed regeneration resumes instead of restarting, and window changes
+/// never mix rows. Set `TRACEFILL_JOBS` to pin the worker count.
+///
+/// # Panics
+///
+/// Panics on store I/O errors — figure regeneration has no useful
+/// degraded mode without its results file.
+pub fn campaign_records(mut spec: CampaignSpec) -> Vec<RunRecord> {
+    if let Ok(v) = std::env::var("TRACEFILL_WARMUP") {
+        spec.warmup = v.parse().expect("TRACEFILL_WARMUP must be an integer");
+    }
+    if let Ok(v) = std::env::var("TRACEFILL_BUDGET") {
+        spec.budget = v.parse().expect("TRACEFILL_BUDGET must be an integer");
+    }
+    let jobs = std::env::var("TRACEFILL_JOBS")
+        .ok()
+        .map(|v| v.parse().expect("TRACEFILL_JOBS must be an integer"))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    let dir = std::path::Path::new("target").join("campaigns");
+    std::fs::create_dir_all(&dir).expect("create target/campaigns");
+    let path = dir.join(format!(
+        "{}-w{}-b{}.jsonl",
+        spec.name, spec.warmup, spec.budget
+    ));
+    let mut store = ResultStore::open(&path).expect("open campaign store");
+    let summary = run_campaign(&spec, &mut store, jobs, true).expect("campaign I/O");
+    eprintln!(
+        "[{} runs, {} resumed, {} failed -> {}]",
+        summary.total,
+        summary.skipped,
+        summary.failed,
+        path.display()
+    );
+    store.load().expect("load campaign store")
+}
+
 /// Prints the standard per-benchmark improvement table for one
 /// optimization, with the paper's reported improvement alongside.
-pub fn improvement_table(
-    title: &str,
-    opts: OptConfig,
-    paper: &dyn Fn(&Benchmark) -> Option<f64>,
-) {
+pub fn improvement_table(title: &str, opts: OptConfig, paper: &dyn Fn(&Benchmark) -> Option<f64>) {
     println!("\n=== {title} ===");
     println!(
         "{:6} {:>9} {:>9} {:>8} {:>10}",

@@ -107,10 +107,7 @@ impl SegmentBuilder {
         if self.slots.len() >= cfg.max_slots {
             return Some(SegEnd::Full);
         }
-        if !cfg.packing
-            && op.is_cond_branch()
-            && self.branches.len() >= cfg.max_cond_branches
-        {
+        if !cfg.packing && op.is_cond_branch() && self.branches.len() >= cfg.max_cond_branches {
             // Without trace packing the segment ends with its last block.
             return Some(SegEnd::BranchLimit);
         }
@@ -149,7 +146,9 @@ impl SegmentBuilder {
         }
 
         if instr.op.is_cond_branch() {
-            let taken = input.taken.expect("conditional branch retired without direction");
+            let taken = input
+                .taken
+                .expect("conditional branch retired without direction");
             self.branches.push(BranchInfo {
                 slot: idx,
                 taken,
@@ -376,12 +375,7 @@ pub(crate) mod tests {
         let unpacked = build_segments(&inputs, &cfg);
         // Without packing the segment ends right at its 3rd branch.
         assert_eq!(unpacked[0].branches.len(), 3);
-        assert!(unpacked[0]
-            .slots
-            .last()
-            .unwrap()
-            .op
-            .is_cond_branch());
+        assert!(unpacked[0].slots.last().unwrap().op.is_cond_branch());
     }
 
     #[test]

@@ -1,10 +1,8 @@
 //! Configuration of the fill unit, trace cache and optimization passes.
 
-use serde::{Deserialize, Serialize};
-
 /// Which dynamic trace optimizations the fill unit applies, plus their
 /// parameters (paper §4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OptConfig {
     /// §4.2: mark register-to-register moves for execution in rename.
     pub moves: bool,
@@ -97,7 +95,7 @@ impl Default for OptConfig {
 }
 
 /// Geometry of the execution clusters, needed by the placement pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClusterConfig {
     /// Number of symmetric clusters (the paper: 4).
     pub clusters: u8,
@@ -128,7 +126,7 @@ impl ClusterConfig {
 }
 
 /// Configuration of the fill unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FillConfig {
     /// Maximum instructions per trace segment (the paper: 16).
     pub max_slots: usize,
@@ -171,7 +169,7 @@ impl Default for FillConfig {
 }
 
 /// Configuration of the trace cache proper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceCacheConfig {
     /// Total line entries (the paper: 2048, ≈156 KB of storage).
     pub entries: u32,

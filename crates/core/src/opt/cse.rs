@@ -109,13 +109,15 @@ mod tests {
                 fetch_miss_head: false,
             })
             .collect();
-        build_segments(&inputs, &FillConfig::default()).pop().unwrap()
+        build_segments(&inputs, &FillConfig::default())
+            .pop()
+            .unwrap()
     }
 
     #[test]
     fn duplicate_address_computation_is_eliminated() {
         let mut seg = seg_of(vec![
-            Instr::alu(Op::Add, r(8), r(16), r(17)),  // t0 = s0 + s1
+            Instr::alu(Op::Add, r(8), r(16), r(17)), // t0 = s0 + s1
             Instr::load(Op::Lw, r(9), r(8), 0),
             Instr::alu(Op::Add, r(10), r(16), r(17)), // t2 = s0 + s1 (dup)
             Instr::store(Op::Sw, r(9), r(10), 4),

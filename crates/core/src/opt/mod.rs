@@ -20,11 +20,10 @@ pub mod verify;
 
 use crate::config::{ClusterConfig, OptConfig};
 use crate::segment::Segment;
-use serde::{Deserialize, Serialize};
 
 /// How many instructions each pass transformed in one segment (or, summed,
 /// over a whole run — this is the numerator of Table 2).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OptCounts {
     /// Register moves marked (§4.2).
     pub moves: u64,
@@ -87,11 +86,7 @@ mod tests {
     #[test]
     fn all_passes_keep_equivalence_on_sample() {
         let mut seg = simple_segment();
-        let counts = apply_all(
-            &mut seg,
-            &OptConfig::all(),
-            &ClusterConfig::default(),
-        );
+        let counts = apply_all(&mut seg, &OptConfig::all(), &ClusterConfig::default());
         // The sample stream contains a reassociable pair (slots 0 and 5,
         // different blocks) and a scaled-add pair (slots 1 and 2).
         assert_eq!(counts.reassoc, 1);
@@ -104,11 +99,7 @@ mod tests {
     fn disabled_passes_do_nothing() {
         let mut seg = simple_segment();
         let orig = seg.clone();
-        let counts = apply_all(
-            &mut seg,
-            &OptConfig::none(),
-            &ClusterConfig::default(),
-        );
+        let counts = apply_all(&mut seg, &OptConfig::none(), &ClusterConfig::default());
         assert_eq!(counts, OptCounts::default());
         assert_eq!(seg, orig);
     }

@@ -109,7 +109,7 @@ mod tests {
     #[test]
     fn consumers_bypass_the_move() {
         let mut seg = stream(vec![
-            Instr::alu(Op::Add, r(8), r(9), r(10)), // t0 = t1 + t2
+            Instr::alu(Op::Add, r(8), r(9), r(10)),   // t0 = t1 + t2
             Instr::alu_imm(Op::Addi, r(11), r(8), 0), // t3 = t0 (move)
             Instr::alu(Op::Add, r(12), r(11), r(11)), // t4 = t3 + t3
             Instr {
@@ -133,9 +133,9 @@ mod tests {
     fn move_chains_collapse() {
         let mut seg = stream(vec![
             Instr::alu(Op::Add, r(8), r(9), r(10)),
-            Instr::alu_imm(Op::Addi, r(11), r(8), 0),  // move t0 -> t3
-            Instr::alu_imm(Op::Ori, r(12), r(11), 0),  // move t3 -> t4
-            Instr::alu(Op::Sub, r(13), r(12), r(9)),   // uses t4
+            Instr::alu_imm(Op::Addi, r(11), r(8), 0), // move t0 -> t3
+            Instr::alu_imm(Op::Ori, r(12), r(11), 0), // move t3 -> t4
+            Instr::alu(Op::Sub, r(13), r(12), r(9)),  // uses t4
         ]);
         assert_eq!(apply(&mut seg), 2);
         assert_eq!(seg.slots[2].move_src, Some(SrcRef::Internal(0)));

@@ -48,9 +48,7 @@ pub fn apply(seg: &mut Segment, clusters: &ClusterConfig) {
             .iter()
             .copied()
             .find(|&s| {
-                !placed[s]
-                    && last_producer(s)
-                        .is_some_and(|p| cluster_of_slot[p] == Some(cluster))
+                !placed[s] && last_producer(s).is_some_and(|p| cluster_of_slot[p] == Some(cluster))
             })
             // Otherwise the first unplaced instruction, preserving order.
             .or_else(|| compute.iter().copied().find(|&s| !placed[s]))
@@ -119,7 +117,9 @@ mod tests {
                 fetch_miss_head: false,
             })
             .collect();
-        build_segments(&inputs, &FillConfig::default()).pop().unwrap()
+        build_segments(&inputs, &FillConfig::default())
+            .pop()
+            .unwrap()
     }
 
     /// Two interleaved 8-long chains: in program order they straddle the

@@ -99,7 +99,9 @@ mod tests {
                 fetch_miss_head: false,
             })
             .collect();
-        build_segments(&inputs, &FillConfig::default()).pop().unwrap()
+        build_segments(&inputs, &FillConfig::default())
+            .pop()
+            .unwrap()
     }
 
     #[test]
@@ -132,7 +134,9 @@ mod tests {
                 fetch_miss_head: false,
             })
             .collect();
-        let base = build_segments(&inputs, &FillConfig::default()).pop().unwrap();
+        let base = build_segments(&inputs, &FillConfig::default())
+            .pop()
+            .unwrap();
 
         let mut restricted = base.clone();
         assert_eq!(apply(&mut restricted, true), 0);
@@ -162,7 +166,9 @@ mod tests {
                 fetch_miss_head: false,
             })
             .collect();
-        let mut seg = build_segments(&inputs, &FillConfig::default()).pop().unwrap();
+        let mut seg = build_segments(&inputs, &FillConfig::default())
+            .pop()
+            .unwrap();
         assert_eq!(apply(&mut seg, true), 2);
         assert_eq!(seg.slots[2].imm, 24);
         assert_eq!(seg.slots[3].imm, 28);
@@ -191,7 +197,9 @@ mod tests {
                 fetch_miss_head: false,
             })
             .collect();
-        let mut seg = build_segments(&inputs, &FillConfig::default()).pop().unwrap();
+        let mut seg = build_segments(&inputs, &FillConfig::default())
+            .pop()
+            .unwrap();
         assert_eq!(apply(&mut seg, true), 2);
         assert_eq!(seg.slots[4].imm, 12);
         assert_eq!(seg.slots[4].srcs[0], Some(SrcRef::LiveIn(r(9))));
@@ -216,7 +224,9 @@ mod tests {
                 fetch_miss_head: false,
             })
             .collect();
-        let mut seg = build_segments(&inputs, &FillConfig::default()).pop().unwrap();
+        let mut seg = build_segments(&inputs, &FillConfig::default())
+            .pop()
+            .unwrap();
         assert_eq!(apply(&mut seg, true), 0);
         assert_eq!(seg.slots[2].imm, 10000);
     }

@@ -85,7 +85,9 @@ mod tests {
                 fetch_miss_head: false,
             })
             .collect();
-        build_segments(&inputs, &FillConfig::default()).pop().unwrap()
+        build_segments(&inputs, &FillConfig::default())
+            .pop()
+            .unwrap()
     }
 
     #[test]

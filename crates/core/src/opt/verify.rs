@@ -203,9 +203,9 @@ pub fn equivalent(seg: &Segment, seed: u64) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tracefill_isa::Op;
     use crate::builder::tests::simple_segment;
     use crate::segment::ScAdd;
+    use tracefill_isa::Op;
 
     #[test]
     fn untouched_segment_is_equivalent() {

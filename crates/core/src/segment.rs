@@ -14,11 +14,10 @@
 //! block-number bits) plus 7 optimization bits (1 move, 2 scaled add, 4
 //! placement).
 
-use serde::{Deserialize, Serialize};
 use tracefill_isa::{ArchReg, Instr, Op};
 
 /// Where a source operand's value comes from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SrcRef {
     /// The architectural value of a register at segment entry (reads the
     /// rename table when the segment issues). `LiveIn($zero)` is the
@@ -38,7 +37,7 @@ impl SrcRef {
 
 /// A scaled-add annotation: one source operand is shifted left before the
 /// operation executes (paper §4.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScAdd {
     /// Shift distance in bits (1..=3 with the paper's parameters).
     pub shift: u8,
@@ -47,7 +46,7 @@ pub struct ScAdd {
 }
 
 /// One instruction slot of a trace segment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SegSlot {
     /// PC of the instruction.
     pub pc: u32,
@@ -106,7 +105,7 @@ impl SegSlot {
 }
 
 /// Why the fill unit ended a segment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SegEnd {
     /// Sixteen instructions were collected.
     Full,
@@ -130,7 +129,7 @@ pub enum SegEnd {
 }
 
 /// Description of one conditional branch inside a segment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BranchInfo {
     /// Slot index (original order) of the branch.
     pub slot: u8,
@@ -141,7 +140,7 @@ pub struct BranchInfo {
 }
 
 /// A finalized trace segment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Segment {
     /// Fetch address this segment answers to.
     pub start_pc: u32,

@@ -12,11 +12,10 @@
 
 use crate::config::TraceCacheConfig;
 use crate::segment::Segment;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Hit/miss statistics of the trace cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TraceCacheStats {
     /// Lookups that found at least one line with the right start address.
     pub hits: u64,
@@ -149,8 +148,7 @@ impl TraceCache {
             let better = match &best {
                 None => true,
                 Some((_, bm, blen)) => {
-                    (m.matching_branches, way.seg.slots.len())
-                        > (bm.matching_branches, *blen)
+                    (m.matching_branches, way.seg.slots.len()) > (bm.matching_branches, *blen)
                 }
             };
             if better {
@@ -235,7 +233,10 @@ mod tests {
     use tracefill_isa::{ArchReg, Instr, Op};
 
     fn small_tc() -> TraceCache {
-        TraceCache::new(TraceCacheConfig { entries: 8, ways: 2 })
+        TraceCache::new(TraceCacheConfig {
+            entries: 8,
+            ways: 2,
+        })
     }
 
     /// A one-branch segment at `pc` whose branch goes `taken`.
@@ -262,7 +263,11 @@ mod tests {
                 fetch_miss_head: false,
             },
         ];
-        Arc::new(build_segments(&inputs, &FillConfig::default()).pop().unwrap())
+        Arc::new(
+            build_segments(&inputs, &FillConfig::default())
+                .pop()
+                .unwrap(),
+        )
     }
 
     #[test]
@@ -327,7 +332,9 @@ mod tests {
                 })
                 .collect::<Vec<_>>();
             tc.insert(Arc::new(
-                build_segments(&inputs, &FillConfig::default()).pop().unwrap(),
+                build_segments(&inputs, &FillConfig::default())
+                    .pop()
+                    .unwrap(),
             ));
         }
         // First insert was evicted by the third (same set, 2 ways).
@@ -368,7 +375,9 @@ mod tests {
                 fetch_miss_head: false,
             },
         ];
-        let seg = build_segments(&inputs, &FillConfig::default()).pop().unwrap();
+        let seg = build_segments(&inputs, &FillConfig::default())
+            .pop()
+            .unwrap();
         // Prediction stream only carries the unpromoted branch: [false].
         let m = match_predictions(&seg, &[false]);
         assert!(m.full);

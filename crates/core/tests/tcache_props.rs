@@ -4,8 +4,8 @@ use proptest::prelude::*;
 use std::sync::Arc;
 use tracefill_core::builder::{build_segments, FillInput};
 use tracefill_core::config::{FillConfig, TraceCacheConfig};
-use tracefill_core::tcache::{match_predictions, TraceCache};
 use tracefill_core::segment::Segment;
+use tracefill_core::tcache::{match_predictions, TraceCache};
 use tracefill_isa::{ArchReg, Instr, Op};
 
 /// A random but well-formed retire stream (sequential PCs, branches with

@@ -1,0 +1,460 @@
+//! Campaign specifications and grid expansion.
+//!
+//! A [`CampaignSpec`] names the axes of a sweep; [`CampaignSpec::expand`]
+//! takes their cross product in a fixed order and stamps every point with a
+//! stable content-hash id ([`RunDescriptor::run_id`]). The id covers every
+//! field that influences the simulation (benchmark, optimization set, fill
+//! latency, seed, warmup/budget windows, cycle cap) and *excludes* timing
+//! limits, so re-running the same scientific point — even from a differently
+//! ordered or differently parallel campaign — always maps to the same id.
+
+use tracefill_core::config::OptConfig;
+use tracefill_util::{fnv1a64, Json};
+
+/// A labelled optimization set — one value of the `{opt set}` axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptPoint {
+    /// Canonical label (e.g. `"none"`, `"all"`, `"moves,scadd"`).
+    pub label: String,
+    /// The decoded configuration.
+    pub opts: OptConfig,
+}
+
+/// Parses an optimization spec: `all`, `none`, or a comma list of
+/// `moves`, `reassoc`, `scadd`, `placement`/`place`, `cse`.
+///
+/// # Errors
+///
+/// Returns the offending token.
+pub fn parse_opt_spec(spec: &str) -> Result<OptConfig, String> {
+    match spec {
+        "all" => return Ok(OptConfig::all()),
+        "none" => return Ok(OptConfig::none()),
+        _ => {}
+    }
+    let mut o = OptConfig::none();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        match part.trim() {
+            "moves" => o.moves = true,
+            "reassoc" => o.reassoc = true,
+            "scadd" => o.scadd = true,
+            "placement" | "place" => o.placement = true,
+            "cse" => o.cse = true,
+            other => return Err(format!("unknown optimization `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+/// The canonical label for an optimization set (inverse of
+/// [`parse_opt_spec`] up to ordering).
+#[must_use]
+pub fn opt_label(o: &OptConfig) -> String {
+    if *o == OptConfig::all() {
+        return "all".to_string();
+    }
+    let mut parts = Vec::new();
+    if o.moves {
+        parts.push("moves");
+    }
+    if o.reassoc {
+        parts.push("reassoc");
+    }
+    if o.scadd {
+        parts.push("scadd");
+    }
+    if o.placement {
+        parts.push("placement");
+    }
+    if o.cse {
+        parts.push("cse");
+    }
+    if parts.is_empty() {
+        "none".to_string()
+    } else {
+        parts.join(",")
+    }
+}
+
+/// One fully resolved point of the campaign grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunDescriptor {
+    /// Stable content hash of the scientific coordinates (16 hex digits).
+    pub run_id: String,
+    /// Benchmark short name (from the suite) or a `gen:` pseudo-benchmark.
+    pub bench: String,
+    /// Canonical optimization label.
+    pub opt_label: String,
+    /// Decoded optimization set.
+    pub opts: OptConfig,
+    /// Fill-unit pipeline latency in cycles (the Figure 8 axis).
+    pub fill_latency: u32,
+    /// Workload seed. Kernels from the suite are deterministic, so the
+    /// seed only perturbs `gen:` workloads; it is part of the id either
+    /// way so replicate rows stay distinct.
+    pub seed: u64,
+    /// Warmup window (retired instructions) before measurement.
+    pub warmup: u64,
+    /// Measured window (retired instructions).
+    pub budget: u64,
+    /// Hard per-run cycle cap (watchdog against bistable kernels).
+    pub max_cycles: u64,
+    /// Hard per-run wall-clock cap in milliseconds (not part of the id).
+    pub wall_limit_ms: u64,
+}
+
+impl RunDescriptor {
+    fn id_for(
+        bench: &str,
+        opt_label: &str,
+        fill_latency: u32,
+        seed: u64,
+        warmup: u64,
+        budget: u64,
+        max_cycles: u64,
+    ) -> String {
+        let key = format!(
+            "bench={bench};opts={opt_label};fill_latency={fill_latency};seed={seed};\
+             warmup={warmup};budget={budget};max_cycles={max_cycles}"
+        );
+        format!("{:016x}", fnv1a64(key.as_bytes()))
+    }
+}
+
+/// A declarative sweep: the cross product of its axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (documentation; lands in every result row).
+    pub name: String,
+    /// The `{opt set}` axis.
+    pub opt_sets: Vec<OptPoint>,
+    /// The `{fill latency}` axis, in cycles.
+    pub fill_latencies: Vec<u32>,
+    /// The `{workload}` axis: suite short/full names, or `gen:<blocks>`
+    /// for the pattern-mix generator (seeded per run).
+    pub benchmarks: Vec<String>,
+    /// The `{seed}` axis.
+    pub seeds: Vec<u64>,
+    /// Warmup window per run (retired instructions).
+    pub warmup: u64,
+    /// Measured window per run (retired instructions).
+    pub budget: u64,
+    /// Per-run cycle watchdog.
+    pub max_cycles: u64,
+    /// Per-run wall-clock watchdog (milliseconds).
+    pub wall_limit_ms: u64,
+}
+
+impl CampaignSpec {
+    /// The Figure 8 grid: all 15 benchmarks × {none, all} × fill latency
+    /// {1, 5, 10} × one seed.
+    #[must_use]
+    pub fn fig8() -> CampaignSpec {
+        CampaignSpec {
+            name: "fig8".to_string(),
+            opt_sets: vec![
+                OptPoint {
+                    label: "none".to_string(),
+                    opts: OptConfig::none(),
+                },
+                OptPoint {
+                    label: "all".to_string(),
+                    opts: OptConfig::all(),
+                },
+            ],
+            fill_latencies: vec![1, 5, 10],
+            benchmarks: tracefill_workloads::suite()
+                .iter()
+                .map(|b| b.name.to_string())
+                .collect(),
+            seeds: vec![0],
+            warmup: 150_000,
+            budget: 150_000,
+            max_cycles: 50_000_000,
+            wall_limit_ms: 120_000,
+        }
+    }
+
+    /// The Table 2 grid: all 15 benchmarks × {all} × latency 1 × one seed
+    /// (transformation coverage is measured with everything enabled).
+    #[must_use]
+    pub fn table2() -> CampaignSpec {
+        CampaignSpec {
+            name: "table2".to_string(),
+            opt_sets: vec![OptPoint {
+                label: "all".to_string(),
+                opts: OptConfig::all(),
+            }],
+            fill_latencies: vec![1],
+            ..CampaignSpec::fig8()
+        }
+    }
+
+    /// Looks up a built-in spec by name (`fig8`, `table2`).
+    #[must_use]
+    pub fn builtin(name: &str) -> Option<CampaignSpec> {
+        match name {
+            "fig8" => Some(CampaignSpec::fig8()),
+            "table2" => Some(CampaignSpec::table2()),
+            _ => None,
+        }
+    }
+
+    /// Expands the grid in a fixed order:
+    /// benchmarks → opt sets → fill latencies → seeds.
+    #[must_use]
+    pub fn expand(&self) -> Vec<RunDescriptor> {
+        let mut out = Vec::new();
+        for bench in &self.benchmarks {
+            for opt in &self.opt_sets {
+                for &lat in &self.fill_latencies {
+                    for &seed in &self.seeds {
+                        out.push(RunDescriptor {
+                            run_id: RunDescriptor::id_for(
+                                bench,
+                                &opt.label,
+                                lat,
+                                seed,
+                                self.warmup,
+                                self.budget,
+                                self.max_cycles,
+                            ),
+                            bench: bench.clone(),
+                            opt_label: opt.label.clone(),
+                            opts: opt.opts,
+                            fill_latency: lat,
+                            seed,
+                            warmup: self.warmup,
+                            budget: self.budget,
+                            max_cycles: self.max_cycles,
+                            wall_limit_ms: self.wall_limit_ms,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes the spec (the on-disk campaign format).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("name", self.name.as_str())
+            .with(
+                "opts",
+                Json::Arr(
+                    self.opt_sets
+                        .iter()
+                        .map(|o| Json::from(o.label.as_str()))
+                        .collect(),
+                ),
+            )
+            .with(
+                "fill_latencies",
+                Json::Arr(self.fill_latencies.iter().map(|&l| Json::from(l)).collect()),
+            )
+            .with(
+                "benchmarks",
+                Json::Arr(
+                    self.benchmarks
+                        .iter()
+                        .map(|b| Json::from(b.as_str()))
+                        .collect(),
+                ),
+            )
+            .with(
+                "seeds",
+                Json::Arr(self.seeds.iter().map(|&s| Json::from(s)).collect()),
+            )
+            .with("warmup", self.warmup)
+            .with("budget", self.budget)
+            .with("max_cycles", self.max_cycles)
+            .with("wall_limit_ms", self.wall_limit_ms)
+    }
+
+    /// Parses a spec from its JSON form. Omitted fields fall back to the
+    /// [`fig8`](Self::fig8) defaults; `"benchmarks": ["all"]` expands to
+    /// the whole suite.
+    ///
+    /// # Errors
+    ///
+    /// Reports malformed JSON, unknown optimization tokens, unknown
+    /// benchmark names, and empty axes.
+    pub fn from_json(text: &str) -> Result<CampaignSpec, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        let defaults = CampaignSpec::fig8();
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("campaign")
+            .to_string();
+
+        let opt_sets = match v.get("opts").and_then(Json::as_arr) {
+            None => defaults.opt_sets,
+            Some(items) => {
+                let mut sets = Vec::new();
+                for item in items {
+                    let label = item
+                        .as_str()
+                        .ok_or_else(|| format!("`opts` entries must be strings, got {item:?}"))?;
+                    let opts = parse_opt_spec(label)?;
+                    sets.push(OptPoint {
+                        label: opt_label(&opts),
+                        opts,
+                    });
+                }
+                sets
+            }
+        };
+
+        let fill_latencies = match v.get("fill_latencies").and_then(Json::as_arr) {
+            None => defaults.fill_latencies,
+            Some(items) => items
+                .iter()
+                .map(|i| {
+                    i.as_u64()
+                        .and_then(|l| u32::try_from(l).ok())
+                        .ok_or_else(|| format!("bad fill latency {i:?}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+
+        let benchmarks = match v.get("benchmarks").and_then(Json::as_arr) {
+            None => defaults.benchmarks,
+            Some(items) => {
+                let mut names = Vec::new();
+                for item in items {
+                    let name = item.as_str().ok_or_else(|| {
+                        format!("`benchmarks` entries must be strings, got {item:?}")
+                    })?;
+                    if name == "all" {
+                        names.extend(tracefill_workloads::names().iter().map(|n| n.to_string()));
+                    } else if name.starts_with("gen:")
+                        || tracefill_workloads::by_name(name).is_some()
+                    {
+                        names.push(name.to_string());
+                    } else {
+                        return Err(format!(
+                            "unknown benchmark `{name}` (try one of: {})",
+                            tracefill_workloads::names().join(", ")
+                        ));
+                    }
+                }
+                names
+            }
+        };
+
+        let seeds = match v.get("seeds").and_then(Json::as_arr) {
+            None => defaults.seeds,
+            Some(items) => items
+                .iter()
+                .map(|i| i.as_u64().ok_or_else(|| format!("bad seed {i:?}")))
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+
+        let num = |key: &str, dflt: u64| -> Result<u64, String> {
+            match v.get(key) {
+                None => Ok(dflt),
+                Some(j) => j.as_u64().ok_or_else(|| format!("bad `{key}`: {j:?}")),
+            }
+        };
+        let spec = CampaignSpec {
+            name,
+            opt_sets,
+            fill_latencies,
+            benchmarks,
+            seeds,
+            warmup: num("warmup", defaults.warmup)?,
+            budget: num("budget", defaults.budget)?,
+            max_cycles: num("max_cycles", defaults.max_cycles)?,
+            wall_limit_ms: num("wall_limit_ms", defaults.wall_limit_ms)?,
+        };
+        if spec.opt_sets.is_empty()
+            || spec.fill_latencies.is_empty()
+            || spec.benchmarks.is_empty()
+            || spec.seeds.is_empty()
+        {
+            return Err("campaign has an empty axis".to_string());
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_grid_is_15x2x3() {
+        let runs = CampaignSpec::fig8().expand();
+        assert_eq!(runs.len(), 15 * 2 * 3);
+        let ids: std::collections::HashSet<_> = runs.iter().map(|r| r.run_id.clone()).collect();
+        assert_eq!(ids.len(), runs.len(), "run ids must be unique");
+    }
+
+    #[test]
+    fn run_ids_are_stable_across_expansions() {
+        let a = CampaignSpec::fig8().expand();
+        let b = CampaignSpec::fig8().expand();
+        assert_eq!(a, b);
+        // A spot-check pin: if this changes, every stored campaign on disk
+        // stops resuming. Change it only with a migration story.
+        let first = &a[0];
+        assert_eq!(
+            first.run_id,
+            RunDescriptor::id_for(
+                &first.bench,
+                &first.opt_label,
+                first.fill_latency,
+                first.seed,
+                first.warmup,
+                first.budget,
+                first.max_cycles,
+            )
+        );
+    }
+
+    #[test]
+    fn wall_limit_does_not_affect_ids() {
+        let mut spec = CampaignSpec::fig8();
+        let a = spec.expand();
+        spec.wall_limit_ms *= 7;
+        let b = spec.expand();
+        assert_eq!(
+            a.iter().map(|r| &r.run_id).collect::<Vec<_>>(),
+            b.iter().map(|r| &r.run_id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn spec_json_roundtrip() {
+        let spec = CampaignSpec::fig8();
+        let back = CampaignSpec::from_json(&spec.to_json().dump()).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn spec_parsing_rejects_garbage() {
+        assert!(CampaignSpec::from_json("{").is_err());
+        assert!(CampaignSpec::from_json(r#"{"opts":["frobnicate"]}"#).is_err());
+        assert!(CampaignSpec::from_json(r#"{"benchmarks":["nonesuch"]}"#).is_err());
+        assert!(CampaignSpec::from_json(r#"{"seeds":[]}"#).is_err());
+        assert!(CampaignSpec::from_json(r#"{"fill_latencies":[-3]}"#).is_err());
+    }
+
+    #[test]
+    fn benchmarks_all_expands_to_suite() {
+        let spec = CampaignSpec::from_json(r#"{"benchmarks":["all"],"seeds":[1,2]}"#).unwrap();
+        assert_eq!(spec.benchmarks.len(), 15);
+        assert_eq!(spec.expand().len(), 15 * 2 * 3 * 2);
+    }
+
+    #[test]
+    fn opt_labels_canonicalize() {
+        let o = parse_opt_spec("scadd,moves").unwrap();
+        assert_eq!(opt_label(&o), "moves,scadd");
+        assert_eq!(opt_label(&OptConfig::none()), "none");
+        assert_eq!(opt_label(&OptConfig::all()), "all");
+    }
+}

@@ -1,0 +1,168 @@
+//! The sharded worker pool.
+//!
+//! `run_campaign` expands the spec, subtracts the run ids already recorded
+//! in the store (resume), and executes the remainder on `jobs` OS threads
+//! pulling from a shared work queue. Design points:
+//!
+//! * **Panic isolation** — each run executes under
+//!   `std::panic::catch_unwind`; a panicking kernel produces a
+//!   [`RunStatus::Panic`] record and the campaign keeps going.
+//! * **Single-writer store** — workers send records over a channel; only
+//!   the coordinating thread appends, so rows never interleave.
+//! * **Cancellation** — a shared flag is polled inside the simulator's
+//!   cycle loop (see [`Simulator::run_budgeted`]); `run_campaign` raises it
+//!   if the coordinator fails to persist a record, so workers don't churn
+//!   after the store is gone.
+//! * **Determinism** — scheduling order (and therefore row order in the
+//!   store) varies with `jobs`, but each row's *content* depends only on
+//!   its descriptor, and the report layer sorts before aggregating, so
+//!   `--jobs 1` and `--jobs 4` produce identical aggregates.
+//!
+//! [`RunStatus::Panic`]: crate::runner::RunStatus::Panic
+//! [`Simulator::run_budgeted`]: tracefill_sim::Simulator::run_budgeted
+
+use crate::grid::{CampaignSpec, RunDescriptor};
+use crate::progress::Progress;
+use crate::runner::{self, RunRecord, RunStatus};
+use crate::store::ResultStore;
+use std::collections::VecDeque;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What a finished (or resumed) campaign did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSummary {
+    /// Grid points in the spec.
+    pub total: usize,
+    /// Points already in the store (skipped on resume).
+    pub skipped: usize,
+    /// Points executed this invocation.
+    pub executed: usize,
+    /// Executed points that did not end [`RunStatus::Ok`].
+    pub failed: usize,
+    /// Wall-clock milliseconds for this invocation.
+    pub wall_ms: u64,
+}
+
+/// Runs (or resumes) a campaign with `jobs` worker threads, appending each
+/// completed run to `store`. Set `live_progress` to paint the status line
+/// on stderr.
+///
+/// # Errors
+///
+/// I/O errors from the result store. Simulation failures and panics are
+/// *not* errors — they are recorded rows (see module docs).
+///
+/// # Panics
+///
+/// Panics if `jobs == 0`.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    store: &mut ResultStore,
+    jobs: usize,
+    live_progress: bool,
+) -> io::Result<CampaignSummary> {
+    assert!(jobs > 0, "need at least one worker");
+    let start = Instant::now();
+    let all = spec.expand();
+    let done = store.completed_ids()?;
+    let todo: VecDeque<RunDescriptor> = all
+        .iter()
+        .filter(|d| !done.contains(&d.run_id))
+        .cloned()
+        .collect();
+
+    let total = all.len();
+    let skipped = total - todo.len();
+    let pending = todo.len();
+    let mut progress = Progress::new(total, skipped, live_progress);
+    let mut executed = 0usize;
+    let mut failed = 0usize;
+    let mut store_error: Option<io::Error> = None;
+
+    let queue = Mutex::new(todo);
+    let cancel = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<RunRecord>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(pending.max(1)) {
+            let tx = tx.clone();
+            let queue = &queue;
+            let cancel = &cancel;
+            let campaign = spec.name.as_str();
+            scope.spawn(move || loop {
+                if cancel.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Some(desc) = queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front() else {
+                    break;
+                };
+                let record = catch_unwind(AssertUnwindSafe(|| {
+                    runner::execute(&desc, campaign, Some(cancel))
+                }))
+                .unwrap_or_else(|payload| panic_record(&desc, campaign, &payload));
+                if tx.send(record).is_err() {
+                    break; // coordinator gone
+                }
+            });
+        }
+        drop(tx); // workers hold the only remaining senders
+
+        // Coordinator: the single store writer.
+        for record in rx {
+            if !record.status.is_ok() {
+                failed += 1;
+            }
+            executed += 1;
+            if let Err(e) = store.append(&record) {
+                store_error = Some(e);
+                cancel.store(true, Ordering::Relaxed);
+                // Keep draining so workers unblock and exit.
+            }
+            progress.tick();
+        }
+    });
+    progress.finish();
+
+    if let Some(e) = store_error {
+        return Err(e);
+    }
+    Ok(CampaignSummary {
+        total,
+        skipped,
+        executed,
+        failed,
+        wall_ms: start.elapsed().as_millis() as u64,
+    })
+}
+
+/// Builds the record for a run that escaped via panic.
+fn panic_record(
+    desc: &RunDescriptor,
+    campaign: &str,
+    payload: &(dyn std::any::Any + Send),
+) -> RunRecord {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    RunRecord {
+        run_id: desc.run_id.clone(),
+        campaign: campaign.to_string(),
+        bench: desc.bench.clone(),
+        opt_label: desc.opt_label.clone(),
+        fill_latency: desc.fill_latency,
+        seed: desc.seed,
+        status: RunStatus::Panic(msg),
+        ipc: 0.0,
+        window_cycles: 0,
+        window_retired: 0,
+        stats: tracefill_sim::Stats::default(),
+        wall_ms: 0,
+    }
+}

@@ -1,0 +1,98 @@
+//! The live progress line: `completed/total, runs/sec, ETA`.
+//!
+//! Rendering is separated from printing so it can be unit-tested; the
+//! campaign loop calls [`Progress::tick`] after each completed run and the
+//! line is rewritten in place on stderr (`\r`, no newline) when enabled.
+
+use std::io::Write;
+use std::time::Instant;
+
+/// Tracks campaign completion and renders the status line.
+#[derive(Debug)]
+pub struct Progress {
+    total: usize,
+    done: usize,
+    skipped: usize,
+    start: Instant,
+    enabled: bool,
+}
+
+impl Progress {
+    /// A tracker over `total` runs, of which `skipped` were already on
+    /// disk. Prints to stderr only if `enabled`.
+    #[must_use]
+    pub fn new(total: usize, skipped: usize, enabled: bool) -> Progress {
+        Progress {
+            total,
+            done: 0,
+            skipped,
+            start: Instant::now(),
+            enabled,
+        }
+    }
+
+    /// Records one completed run and repaints the line.
+    pub fn tick(&mut self) {
+        self.done += 1;
+        if self.enabled {
+            let line = self.render(self.start.elapsed().as_secs_f64());
+            let mut err = std::io::stderr().lock();
+            let _ = write!(err, "\r{line}");
+            let _ = err.flush();
+        }
+    }
+
+    /// Finishes the line (newline) if anything was printed.
+    pub fn finish(&mut self) {
+        if self.enabled && self.done > 0 {
+            let _ = writeln!(std::io::stderr().lock());
+        }
+    }
+
+    /// Renders the status line for a given elapsed time (pure; tested).
+    #[must_use]
+    pub fn render(&self, elapsed_secs: f64) -> String {
+        let attempted = self.total - self.skipped;
+        let rate = if elapsed_secs > 0.0 {
+            self.done as f64 / elapsed_secs
+        } else {
+            0.0
+        };
+        let remaining = attempted.saturating_sub(self.done);
+        let eta = if rate > 0.0 {
+            format!("{:.0}s", remaining as f64 / rate)
+        } else {
+            "?".to_string()
+        };
+        format!(
+            "[{}/{} runs, {} resumed] {:.2} runs/s, ETA {eta}   ",
+            self.done + self.skipped,
+            self.total,
+            self.skipped,
+            rate,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counts_rate_and_eta() {
+        let mut p = Progress::new(90, 30, false);
+        for _ in 0..30 {
+            p.tick();
+        }
+        let line = p.render(15.0);
+        assert!(line.contains("[60/90 runs, 30 resumed]"), "{line}");
+        assert!(line.contains("2.00 runs/s"), "{line}");
+        assert!(line.contains("ETA 15s"), "{line}");
+    }
+
+    #[test]
+    fn eta_is_unknown_before_first_completion() {
+        let p = Progress::new(10, 0, false);
+        assert!(p.render(0.0).contains("ETA ?"));
+    }
+}

@@ -1,0 +1,400 @@
+//! Aggregation and reporting — the campaign engine's scientific output.
+//!
+//! Everything here is computed from the JSONL rows alone (no live
+//! simulator state), so `tracefill report` can reproduce the paper-shaped
+//! tables from a results file long after the sweep ran, and the output is
+//! deterministic: records are grouped and sorted by content, never by
+//! arrival order, so `--jobs 1` and `--jobs 4` campaigns aggregate
+//! identically.
+
+use crate::runner::RunRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Per-benchmark IPC delta of one grid cell (an {opt set} × {fill latency}
+/// point) against the `none` baseline at the same latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDelta {
+    /// Optimization label of the cell.
+    pub opt_label: String,
+    /// Fill latency of the cell.
+    pub fill_latency: u32,
+    /// `(bench, base IPC, cell IPC, delta %)` rows, in suite order.
+    pub per_bench: Vec<BenchDelta>,
+    /// Arithmetic mean of the per-benchmark deltas (%).
+    pub arith_mean_pct: f64,
+    /// Geometric mean of the per-benchmark speedups, as a delta (%).
+    pub geo_mean_pct: f64,
+    /// Smallest per-benchmark delta (%).
+    pub min_pct: f64,
+    /// Largest per-benchmark delta (%).
+    pub max_pct: f64,
+}
+
+/// A `(bench, base IPC, cell IPC, delta %)` row.
+type BenchDelta = (String, f64, f64, f64);
+
+/// Orders benchmarks in the paper's Table 1 order; unknown names sort
+/// after the suite, alphabetically.
+fn bench_order(name: &str) -> (usize, String) {
+    let idx = tracefill_workloads::names()
+        .iter()
+        .position(|n| *n == name)
+        .unwrap_or(usize::MAX);
+    (idx, name.to_string())
+}
+
+/// Mean measured-window IPC per (bench, opt, latency), over `Ok` rows.
+fn cell_means(records: &[RunRecord]) -> BTreeMap<(String, String, u32), f64> {
+    let mut sums: BTreeMap<(String, String, u32), (f64, u32)> = BTreeMap::new();
+    for r in records.iter().filter(|r| r.status.is_ok()) {
+        let e = sums
+            .entry((r.bench.clone(), r.opt_label.clone(), r.fill_latency))
+            .or_insert((0.0, 0));
+        e.0 += r.ipc;
+        e.1 += 1;
+    }
+    sums.into_iter()
+        .map(|(k, (sum, n))| (k, sum / f64::from(n)))
+        .collect()
+}
+
+/// Computes every non-baseline cell's per-benchmark deltas. Cells are
+/// sorted by (opt label, latency); benchmarks within a cell are in suite
+/// order. Benchmarks without a usable baseline (missing or zero-IPC
+/// `none` run at the same latency) are omitted from that cell.
+#[must_use]
+pub fn aggregates(records: &[RunRecord]) -> Vec<CellDelta> {
+    let means = cell_means(records);
+    let mut cells: BTreeMap<(String, u32), Vec<BenchDelta>> = BTreeMap::new();
+    for ((bench, opt, lat), &ipc) in &means {
+        if opt == "none" {
+            continue;
+        }
+        let Some(&base) = means.get(&(bench.clone(), "none".to_string(), *lat)) else {
+            continue;
+        };
+        if base <= 0.0 {
+            continue;
+        }
+        cells.entry((opt.clone(), *lat)).or_default().push((
+            bench.clone(),
+            base,
+            ipc,
+            (ipc / base - 1.0) * 100.0,
+        ));
+    }
+    let mut out = Vec::new();
+    for ((opt_label, fill_latency), mut per_bench) in cells {
+        per_bench.sort_by_key(|(b, _, _, _)| bench_order(b));
+        let n = per_bench.len() as f64;
+        let arith = per_bench.iter().map(|r| r.3).sum::<f64>() / n;
+        let geo = (per_bench
+            .iter()
+            .map(|r| (r.3 / 100.0 + 1.0).ln())
+            .sum::<f64>()
+            / n)
+            .exp();
+        let min = per_bench.iter().map(|r| r.3).fold(f64::INFINITY, f64::min);
+        let max = per_bench
+            .iter()
+            .map(|r| r.3)
+            .fold(f64::NEG_INFINITY, f64::max);
+        out.push(CellDelta {
+            opt_label,
+            fill_latency,
+            per_bench,
+            arith_mean_pct: arith,
+            geo_mean_pct: (geo - 1.0) * 100.0,
+            min_pct: min,
+            max_pct: max,
+        });
+    }
+    out
+}
+
+/// The Figure 8-shaped table: per-benchmark IPC delta per cell, with
+/// arithmetic/geometric means and min/max rows.
+#[must_use]
+pub fn fig8_table(records: &[RunRecord]) -> String {
+    let cells = aggregates(records);
+    if cells.is_empty() {
+        return "no aggregatable runs (need `none` baselines plus at least one opt cell)\n"
+            .to_string();
+    }
+    // Union of benchmarks across cells, suite order.
+    let mut benches: Vec<String> = cells
+        .iter()
+        .flat_map(|c| c.per_bench.iter().map(|r| r.0.clone()))
+        .collect();
+    benches.sort_by_key(|b| bench_order(b));
+    benches.dedup();
+
+    let mut s = String::new();
+    let _ = write!(s, "{:8} {:>9}", "bench", "base IPC");
+    for c in &cells {
+        let _ = write!(
+            s,
+            " {:>14}",
+            format!("{}@lat{}", c.opt_label, c.fill_latency)
+        );
+    }
+    s.push('\n');
+    for bench in &benches {
+        let base = cells
+            .iter()
+            .find_map(|c| c.per_bench.iter().find(|r| &r.0 == bench).map(|r| r.1));
+        match base {
+            Some(b) => {
+                let _ = write!(s, "{bench:8} {b:9.3}");
+            }
+            None => {
+                let _ = write!(s, "{bench:8} {:>9}", "-");
+            }
+        }
+        for c in &cells {
+            match c.per_bench.iter().find(|r| &r.0 == bench) {
+                Some(r) => {
+                    let _ = write!(s, " {:>14}", format!("{:+.1}%", r.3));
+                }
+                None => {
+                    let _ = write!(s, " {:>14}", "-");
+                }
+            }
+        }
+        s.push('\n');
+    }
+    for (label, f) in [
+        ("mean", CellDelta::arith as fn(&CellDelta) -> f64),
+        ("geomean", CellDelta::geo),
+        ("min", CellDelta::min),
+        ("max", CellDelta::max),
+    ] {
+        let _ = write!(s, "{label:8} {:>9}", "");
+        for c in &cells {
+            let _ = write!(s, " {:>14}", format!("{:+.1}%", f(c)));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+impl CellDelta {
+    fn arith(&self) -> f64 {
+        self.arith_mean_pct
+    }
+    fn geo(&self) -> f64 {
+        self.geo_mean_pct
+    }
+    fn min(&self) -> f64 {
+        self.min_pct
+    }
+    fn max(&self) -> f64 {
+        self.max_pct
+    }
+}
+
+/// The Table 2-shaped table: % of retired instructions each transformation
+/// touched, per benchmark, next to the paper's numbers. Uses the `all`
+/// cell at the lowest recorded latency.
+#[must_use]
+pub fn table2_table(records: &[RunRecord]) -> String {
+    let mut rows: BTreeMap<(usize, String), (f64, f64, f64, u32)> = BTreeMap::new();
+    let min_lat = records
+        .iter()
+        .filter(|r| r.status.is_ok() && r.opt_label == "all")
+        .map(|r| r.fill_latency)
+        .min();
+    let Some(min_lat) = min_lat else {
+        return "no `all` runs to measure transformation coverage from\n".to_string();
+    };
+    for r in records
+        .iter()
+        .filter(|r| r.status.is_ok() && r.opt_label == "all" && r.fill_latency == min_lat)
+    {
+        let ret = r.stats.retired.max(1) as f64;
+        let e = rows
+            .entry(bench_order(&r.bench))
+            .or_insert((0.0, 0.0, 0.0, 0));
+        e.0 += r.stats.retired_moves as f64 / ret * 100.0;
+        e.1 += r.stats.retired_reassoc as f64 / ret * 100.0;
+        e.2 += r.stats.retired_scadd as f64 / ret * 100.0;
+        e.3 += 1;
+    }
+    let mut s = String::new();
+    let _ = writeln!(s, "{:8} | {:>30} | {:>30}", "", "ours", "paper");
+    let _ = writeln!(
+        s,
+        "{:8} | {:>6} {:>8} {:>6} {:>6} | {:>6} {:>8} {:>6} {:>6}",
+        "bench", "moves", "reassoc", "scadd", "total", "moves", "reassoc", "scadd", "total"
+    );
+    let mut total_sum = 0.0;
+    let mut n = 0.0;
+    for ((_, bench), &(ms, res, scs, k)) in &rows {
+        let k = f64::from(k.max(1));
+        let (m, re, sc) = (ms / k, res / k, scs / k);
+        let paper = tracefill_workloads::by_name(bench).map(|b| b.table2);
+        match paper {
+            Some(t) => {
+                let _ = writeln!(
+                    s,
+                    "{bench:8} | {m:6.1} {re:8.1} {sc:6.1} {:6.1} | {:6.1} {:8.1} {:6.1} {:6.1}",
+                    m + re + sc,
+                    t.moves,
+                    t.reassoc,
+                    t.scadd,
+                    t.total
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    s,
+                    "{bench:8} | {m:6.1} {re:8.1} {sc:6.1} {:6.1} | {:>6} {:>8} {:>6} {:>6}",
+                    m + re + sc,
+                    "-",
+                    "-",
+                    "-",
+                    "-"
+                );
+            }
+        }
+        total_sum += m + re + sc;
+        n += 1.0;
+    }
+    if n > 0.0 {
+        let _ = writeln!(s, "mean total: ours {:.1}%  paper 13.3%", total_sum / n);
+    }
+    s
+}
+
+/// A status roll-up: how many rows ended in each state, plus totals.
+#[must_use]
+pub fn summary(records: &[RunRecord]) -> String {
+    let mut by_status: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut cycles = 0u64;
+    let mut retired = 0u64;
+    for r in records {
+        let tag = match &r.status {
+            crate::runner::RunStatus::Ok => "ok",
+            crate::runner::RunStatus::CycleLimit => "cycle-limit",
+            crate::runner::RunStatus::Timeout => "timeout",
+            crate::runner::RunStatus::Cancelled => "cancelled",
+            crate::runner::RunStatus::SimError(_) => "sim-error",
+            crate::runner::RunStatus::Panic(_) => "panic",
+        };
+        *by_status.entry(tag).or_default() += 1;
+        cycles += r.stats.cycles;
+        retired += r.stats.retired;
+    }
+    let mut s = format!(
+        "{} rows, {} cycles simulated, {} instructions retired\n",
+        records.len(),
+        cycles,
+        retired
+    );
+    for (tag, count) in by_status {
+        let _ = writeln!(s, "  {tag:12} {count}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{RunRecord, RunStatus};
+    use tracefill_sim::Stats;
+
+    fn row(bench: &str, opt: &str, lat: u32, ipc: f64) -> RunRecord {
+        RunRecord {
+            run_id: format!("{bench}-{opt}-{lat}"),
+            campaign: "t".to_string(),
+            bench: bench.to_string(),
+            opt_label: opt.to_string(),
+            fill_latency: lat,
+            seed: 0,
+            status: RunStatus::Ok,
+            ipc,
+            window_cycles: 1000,
+            window_retired: (ipc * 1000.0) as u64,
+            stats: Stats {
+                cycles: 1000,
+                retired: (ipc * 1000.0) as u64,
+                ..Stats::default()
+            },
+            wall_ms: 1,
+        }
+    }
+
+    #[test]
+    fn deltas_are_computed_against_same_latency_baseline() {
+        let records = vec![
+            row("m88k", "none", 1, 2.0),
+            row("m88k", "all", 1, 2.5),
+            row("m88k", "none", 5, 1.9),
+            row("m88k", "all", 5, 2.28),
+        ];
+        let cells = aggregates(&records);
+        assert_eq!(cells.len(), 2);
+        let lat1 = cells.iter().find(|c| c.fill_latency == 1).unwrap();
+        assert!((lat1.per_bench[0].3 - 25.0).abs() < 1e-9);
+        let lat5 = cells.iter().find(|c| c.fill_latency == 5).unwrap();
+        assert!((lat5.per_bench[0].3 - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregation_ignores_order_and_failed_rows() {
+        let mut a = vec![
+            row("m88k", "none", 1, 2.0),
+            row("m88k", "all", 1, 2.5),
+            row("comp", "none", 1, 1.0),
+            row("comp", "all", 1, 1.1),
+        ];
+        let mut failed = row("comp", "all", 1, 9.9);
+        failed.status = RunStatus::Panic("boom".to_string());
+        a.push(failed);
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(aggregates(&a), aggregates(&b));
+        let cell = &aggregates(&a)[0];
+        assert!((cell.arith_mean_pct - 17.5).abs() < 1e-9);
+        assert!((cell.min_pct - 10.0).abs() < 1e-9);
+        assert!((cell.max_pct - 25.0).abs() < 1e-9);
+        // geomean of 1.25 and 1.10: sqrt(1.375) - 1 = 17.26%
+        assert!((cell.geo_mean_pct - (1.375f64.sqrt() - 1.0) * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeds_average_within_a_cell() {
+        let mut r1 = row("m88k", "all", 1, 2.0);
+        r1.seed = 0;
+        let mut r2 = row("m88k", "all", 1, 3.0);
+        r2.seed = 1;
+        let records = vec![row("m88k", "none", 1, 2.0), r1, r2];
+        let cells = aggregates(&records);
+        assert!((cells[0].per_bench[0].2 - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tables_render_without_panicking() {
+        let records = vec![
+            row("m88k", "none", 1, 2.0),
+            row("m88k", "all", 1, 2.5),
+            row("ch", "none", 1, 1.5),
+            row("ch", "all", 1, 1.8),
+        ];
+        let fig8 = fig8_table(&records);
+        assert!(fig8.contains("all@lat1"), "{fig8}");
+        assert!(fig8.contains("m88k"), "{fig8}");
+        assert!(fig8.contains("geomean"), "{fig8}");
+        let t2 = table2_table(&records);
+        assert!(t2.contains("m88k"), "{t2}");
+        let sum = summary(&records);
+        assert!(sum.contains("ok"), "{sum}");
+    }
+
+    #[test]
+    fn empty_input_degrades_gracefully() {
+        assert!(fig8_table(&[]).contains("no aggregatable"));
+        assert!(table2_table(&[]).contains("no `all` runs"));
+    }
+}

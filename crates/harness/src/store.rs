@@ -1,0 +1,222 @@
+//! The append-only JSONL result store.
+//!
+//! One line per completed run. Appends go through a single `write(2)` per
+//! line (line fully formatted, newline included) on a file opened in
+//! append mode, so concurrent writers can't interleave *within* a line and
+//! a `kill -9` can at worst truncate the final line — which
+//! [`ResultStore::load`] and [`ResultStore::completed_ids`] tolerate by
+//! skipping it. Resume therefore never re-runs a recorded id and never
+//! trips over a torn tail.
+
+use crate::runner::RunRecord;
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use tracefill_util::Json;
+
+/// A JSONL file of [`RunRecord`] rows.
+#[derive(Debug)]
+pub struct ResultStore {
+    path: PathBuf,
+    file: File,
+}
+
+impl ResultStore {
+    /// Opens (creating if absent) a store for appending.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening the file.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<ResultStore> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        // Seal a torn tail (kill -9 mid-write): if the file doesn't end in
+        // a newline, add one so the next append starts a fresh line instead
+        // of merging into the corrupt row.
+        if let Ok(meta) = file.metadata() {
+            if meta.len() > 0 {
+                let mut last = [0u8; 1];
+                let mut reader = File::open(&path)?;
+                use std::io::Seek;
+                reader.seek(io::SeekFrom::End(-1))?;
+                reader.read_exact(&mut last)?;
+                if last[0] != b'\n' {
+                    file.write_all(b"\n")?;
+                }
+            }
+        }
+        Ok(ResultStore { path, file })
+    }
+
+    /// The store's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record (one atomic line write + flush).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing.
+    pub fn append(&mut self, record: &RunRecord) -> io::Result<()> {
+        let mut line = record.to_json().dump();
+        line.push('\n');
+        // A single write on an O_APPEND fd is atomic with respect to other
+        // appenders for ordinary files.
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()
+    }
+
+    /// The set of run ids already recorded (any status). A campaign skips
+    /// these on resume.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading (a missing file yields the empty set).
+    pub fn completed_ids(&self) -> io::Result<HashSet<String>> {
+        let mut ids = HashSet::new();
+        for row in read_rows(&self.path)? {
+            if let Some(id) = row.get("run_id").and_then(Json::as_str) {
+                ids.insert(id.to_string());
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Loads every parseable record.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading.
+    pub fn load(&self) -> io::Result<Vec<RunRecord>> {
+        load_records(&self.path)
+    }
+}
+
+/// Parses every well-formed JSONL row in `path` (skipping a torn tail or
+/// foreign lines). A missing file yields no rows.
+fn read_rows(path: &Path) -> io::Result<Vec<Json>> {
+    let mut text = String::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_string(&mut text)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    }
+    Ok(text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| Json::parse(l).ok())
+        .collect())
+}
+
+/// Loads every parseable [`RunRecord`] from a JSONL file (standalone form,
+/// for `tracefill report` which reads stores it didn't open for append).
+///
+/// # Errors
+///
+/// I/O errors reading.
+pub fn load_records(path: impl AsRef<Path>) -> io::Result<Vec<RunRecord>> {
+    Ok(read_rows(path.as_ref())?
+        .iter()
+        .filter_map(|row| RunRecord::from_json(row).ok())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunStatus;
+    use tracefill_sim::Stats;
+
+    fn rec(id: &str) -> RunRecord {
+        RunRecord {
+            run_id: id.to_string(),
+            campaign: "t".to_string(),
+            bench: "m88k".to_string(),
+            opt_label: "all".to_string(),
+            fill_latency: 1,
+            seed: 0,
+            status: RunStatus::Ok,
+            ipc: 2.5,
+            window_cycles: 100,
+            window_retired: 250,
+            stats: Stats::default(),
+            wall_ms: 7,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tracefill-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn append_then_load_roundtrips() {
+        let path = tmp("roundtrip");
+        let mut store = ResultStore::open(&path).unwrap();
+        store.append(&rec("aaa")).unwrap();
+        store.append(&rec("bbb")).unwrap();
+        let records = store.load().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].run_id, "aaa");
+        assert_eq!(records[1].ipc, 2.5);
+        assert_eq!(
+            store.completed_ids().unwrap(),
+            HashSet::from(["aaa".to_string(), "bbb".to_string()])
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_skipped() {
+        let path = tmp("torn");
+        let mut store = ResultStore::open(&path).unwrap();
+        store.append(&rec("good")).unwrap();
+        // Simulate a kill mid-write: a truncated line at the tail.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"run_id\":\"tor").unwrap();
+        }
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(
+            store.completed_ids().unwrap(),
+            HashSet::from(["good".to_string()])
+        );
+        assert_eq!(store.load().unwrap().len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let path = tmp("missing");
+        assert!(load_records(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reopen_appends_after_existing_rows() {
+        let path = tmp("reopen");
+        ResultStore::open(&path)
+            .unwrap()
+            .append(&rec("one"))
+            .unwrap();
+        ResultStore::open(&path)
+            .unwrap()
+            .append(&rec("two"))
+            .unwrap();
+        let records = load_records(&path).unwrap();
+        assert_eq!(
+            records
+                .iter()
+                .map(|r| r.run_id.as_str())
+                .collect::<Vec<_>>(),
+            ["one", "two"]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,158 @@
+//! End-to-end campaign engine tests: determinism, resume, panic
+//! isolation, and jobs-count invariance — the properties the engine
+//! guarantees and the paper-reproduction pipeline depends on.
+
+use tracefill_core::config::OptConfig;
+use tracefill_harness::{
+    report, run_campaign, CampaignSpec, OptPoint, ResultStore, RunRecord, RunStatus,
+};
+
+/// A small, fast grid: 2 workloads × {none, all} × 1 latency × 2 seeds
+/// = 8 runs, each a few thousand instructions.
+fn small_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "it-small".to_string(),
+        opt_sets: vec![
+            OptPoint {
+                label: "none".to_string(),
+                opts: OptConfig::none(),
+            },
+            OptPoint {
+                label: "all".to_string(),
+                opts: OptConfig::all(),
+            },
+        ],
+        fill_latencies: vec![1],
+        benchmarks: vec!["m88k".to_string(), "gen:8".to_string()],
+        seeds: vec![0, 1],
+        warmup: 1_000,
+        budget: 2_000,
+        max_cycles: 10_000_000,
+        wall_limit_ms: 60_000,
+    }
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("tracefill-campaign-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Rows sorted by id and stripped of timing for content comparison.
+fn canonical(records: &[RunRecord]) -> Vec<String> {
+    let mut rows: Vec<String> = records.iter().map(RunRecord::canonical_json).collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn same_spec_produces_identical_rows() {
+    let spec = small_spec();
+    let (pa, pb) = (tmp("det-a"), tmp("det-b"));
+    let mut sa = ResultStore::open(&pa).unwrap();
+    let mut sb = ResultStore::open(&pb).unwrap();
+    run_campaign(&spec, &mut sa, 2, false).unwrap();
+    run_campaign(&spec, &mut sb, 2, false).unwrap();
+    let (ra, rb) = (sa.load().unwrap(), sb.load().unwrap());
+    assert_eq!(ra.len(), 8);
+    assert_eq!(canonical(&ra), canonical(&rb));
+    let _ = std::fs::remove_file(&pa);
+    let _ = std::fs::remove_file(&pb);
+}
+
+#[test]
+fn resume_skips_completed_ids() {
+    let spec = small_spec();
+    let path = tmp("resume");
+    let mut store = ResultStore::open(&path).unwrap();
+    let first = run_campaign(&spec, &mut store, 2, false).unwrap();
+    assert_eq!(first.executed, 8);
+    assert_eq!(first.skipped, 0);
+
+    // Second invocation on the same store: everything is already there.
+    let mut store = ResultStore::open(&path).unwrap();
+    let second = run_campaign(&spec, &mut store, 2, false).unwrap();
+    assert_eq!(second.skipped, 8);
+    assert_eq!(second.executed, 0);
+    assert_eq!(store.load().unwrap().len(), 8, "no duplicate rows");
+
+    // Partial resume: drop half the rows and re-run — only the dropped
+    // half executes.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let kept: Vec<&str> = text.lines().take(4).collect();
+    std::fs::write(&path, format!("{}\n", kept.join("\n"))).unwrap();
+    let mut store = ResultStore::open(&path).unwrap();
+    let third = run_campaign(&spec, &mut store, 2, false).unwrap();
+    assert_eq!(third.skipped, 4);
+    assert_eq!(third.executed, 4);
+    assert_eq!(store.load().unwrap().len(), 8);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn panic_in_one_run_does_not_kill_the_campaign() {
+    let mut spec = small_spec();
+    spec.name = "it-panic".to_string();
+    spec.benchmarks = vec!["__panic__".to_string(), "m88k".to_string()];
+    spec.seeds = vec![0];
+    let path = tmp("panic");
+    let mut store = ResultStore::open(&path).unwrap();
+    let summary = run_campaign(&spec, &mut store, 2, false).unwrap();
+    assert_eq!(summary.executed, 4);
+    assert_eq!(summary.failed, 2, "both __panic__ cells fail");
+
+    let records = store.load().unwrap();
+    assert_eq!(records.len(), 4);
+    for r in &records {
+        if r.bench == "__panic__" {
+            assert!(
+                matches!(r.status, RunStatus::Panic(_)),
+                "expected Panic, got {:?}",
+                r.status
+            );
+        } else {
+            assert!(r.status.is_ok(), "m88k row failed: {:?}", r.status);
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn jobs_one_and_jobs_four_aggregate_identically() {
+    let spec = small_spec();
+    let (p1, p4) = (tmp("jobs-1"), tmp("jobs-4"));
+    let mut s1 = ResultStore::open(&p1).unwrap();
+    let mut s4 = ResultStore::open(&p4).unwrap();
+    run_campaign(&spec, &mut s1, 1, false).unwrap();
+    run_campaign(&spec, &mut s4, 4, false).unwrap();
+    let (r1, r4) = (s1.load().unwrap(), s4.load().unwrap());
+
+    // Row *content* is identical (order may differ with more workers).
+    assert_eq!(canonical(&r1), canonical(&r4));
+
+    // And the report layer, which sorts internally, renders byte-identical
+    // tables straight from the unsorted rows.
+    assert_eq!(report::aggregates(&r1), report::aggregates(&r4));
+    assert_eq!(report::fig8_table(&r1), report::fig8_table(&r4));
+    assert_eq!(report::summary(&r1), report::summary(&r4));
+    let _ = std::fs::remove_file(&p1);
+    let _ = std::fs::remove_file(&p4);
+}
+
+#[test]
+fn report_reproduces_tables_from_jsonl_alone() {
+    // The acceptance path: campaign -> JSONL -> report, no live state.
+    let spec = small_spec();
+    let path = tmp("jsonl-only");
+    let mut store = ResultStore::open(&path).unwrap();
+    run_campaign(&spec, &mut store, 2, false).unwrap();
+    drop(store);
+
+    let records = tracefill_harness::store::load_records(&path).unwrap();
+    assert_eq!(records.len(), 8);
+    let table = report::fig8_table(&records);
+    assert!(table.contains("m88k"), "{table}");
+    assert!(table.contains("all@lat1"), "{table}");
+    let _ = std::fs::remove_file(&path);
+}

@@ -167,9 +167,7 @@ fn parse_operand(cur: &Cursor, text: &str) -> Result<Operand, AsmError> {
         return Err(cur.err("empty operand"));
     }
     if text.starts_with('$') {
-        let reg: ArchReg = text
-            .parse()
-            .map_err(|e| cur.err(format!("{e}")))?;
+        let reg: ArchReg = text.parse().map_err(|e| cur.err(format!("{e}")))?;
         return Ok(Operand::Reg(reg));
     }
     // disp(base) form.
@@ -209,7 +207,10 @@ fn parse_number(cur: &Cursor, text: &str) -> Result<i64, AsmError> {
 
 fn parse_expr(cur: &Cursor, text: &str) -> Result<Expr, AsmError> {
     let text = text.trim();
-    let first = text.chars().next().ok_or_else(|| cur.err("empty expression"))?;
+    let first = text
+        .chars()
+        .next()
+        .ok_or_else(|| cur.err("empty expression"))?;
     if first.is_ascii_digit() || first == '-' {
         return Ok(Expr::literal(parse_number(cur, text)?));
     }
@@ -250,7 +251,10 @@ fn emit_instr(
     let reg_at = |i: usize| -> Result<ArchReg, AsmError> {
         match operands.get(i) {
             Some(Operand::Reg(r)) => Ok(*r),
-            _ => Err(err(format!("operand {} of {mnemonic} must be a register", i + 1))),
+            _ => Err(err(format!(
+                "operand {} of {mnemonic} must be a register",
+                i + 1
+            ))),
         }
     };
     let expr_at = |i: usize| -> Result<i64, AsmError> {
@@ -288,7 +292,9 @@ fn emit_instr(
         let pc = addr as i64 + 4 * slot as i64;
         let delta = target - (pc + 4);
         if delta % 4 != 0 {
-            return Err(err(format!("branch target {target:#x} is not word aligned")));
+            return Err(err(format!(
+                "branch target {target:#x} is not word aligned"
+            )));
         }
         let words = delta / 4;
         if !(-(1 << 15)..(1 << 15)).contains(&words) {
@@ -378,8 +384,8 @@ fn emit_instr(
         _ => {}
     }
 
-    let op = Op::from_mnemonic(mnemonic)
-        .ok_or_else(|| err(format!("unknown mnemonic `{mnemonic}`")))?;
+    let op =
+        Op::from_mnemonic(mnemonic).ok_or_else(|| err(format!("unknown mnemonic `{mnemonic}`")))?;
     use Op::*;
     let instr = match op {
         Add | Sub | And | Or | Xor | Nor | Slt | Sltu | Sllv | Srlv | Srav | Mul | Mulh | Div
@@ -500,16 +506,14 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
     let mut text_pc = TEXT_BASE;
     let mut data_pc = DATA_BASE;
 
-    let ensure_chunk = |chunks: &mut Vec<Chunk>, kind: SectionKind, pc: u32| {
-        match chunks.last() {
-            Some(c) if c.kind == kind && c.end == pc => {}
-            _ => chunks.push(Chunk {
-                kind,
-                base: pc,
-                items: Vec::new(),
-                end: pc,
-            }),
-        }
+    let ensure_chunk = |chunks: &mut Vec<Chunk>, kind: SectionKind, pc: u32| match chunks.last() {
+        Some(c) if c.kind == kind && c.end == pc => {}
+        _ => chunks.push(Chunk {
+            kind,
+            base: pc,
+            items: Vec::new(),
+            end: pc,
+        }),
     };
 
     for (lineno, raw) in src.lines().enumerate() {
@@ -783,7 +787,7 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_labels_are_rejected()  {
+    fn duplicate_labels_are_rejected() {
         let e = assemble(".text\nx:  nop\nx:  nop\n").unwrap_err();
         assert!(e.msg.contains("duplicate"));
     }

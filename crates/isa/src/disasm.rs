@@ -57,10 +57,7 @@ mod tests {
             ),
             (Instr::load(Op::Lw, r(4), r(29), 8), "lw $a0, 8($sp)"),
             (Instr::store(Op::Sw, r(5), r(29), -12), "sw $a1, -12($sp)"),
-            (
-                Instr::branch(Op::Beq, r(1), r(2), 5),
-                "beq $at, $v0, 5",
-            ),
+            (Instr::branch(Op::Beq, r(1), r(2), 5), "beq $at, $v0, 5"),
             (
                 Instr::alu_imm(Op::Lui, r(4), r(0), 0x1234 << 16),
                 "lui $a0, 0x1234",

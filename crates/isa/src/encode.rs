@@ -243,9 +243,7 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
             // Canonicalize: zero every field the opcode does not use, so
             // decode -> encode -> decode is the identity.
             match op {
-                Op::Sll | Op::Srl | Op::Sra => {
-                    Instr::alu_imm(op, reg(rd), reg(rs), shamt as i32)
-                }
+                Op::Sll | Op::Srl | Op::Sra => Instr::alu_imm(op, reg(rd), reg(rs), shamt as i32),
                 Op::Jr => Instr {
                     op,
                     rd: ArchReg::ZERO,
@@ -344,7 +342,12 @@ mod tests {
 
     #[test]
     fn lui_roundtrip_high_bit() {
-        let i = Instr::alu_imm(Op::Lui, ArchReg::gpr(4), ArchReg::ZERO, 0x8001u32 as i32 - 1);
+        let i = Instr::alu_imm(
+            Op::Lui,
+            ArchReg::gpr(4),
+            ArchReg::ZERO,
+            0x8001u32 as i32 - 1,
+        );
         // 0x8000 << 16 pattern: build directly to avoid arithmetic confusion.
         let i = Instr {
             imm: (0x8000u32 << 16) as i32,

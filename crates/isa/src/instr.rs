@@ -2,7 +2,6 @@
 
 use crate::op::{Op, OpKind};
 use crate::reg::ArchReg;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A decoded SSA instruction.
@@ -38,7 +37,7 @@ use std::fmt;
 /// let i = Instr::alu_imm(Op::Addi, ArchReg::gpr(8), ArchReg::gpr(9), 0);
 /// assert_eq!(i.as_register_move(), Some(ArchReg::gpr(9)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Instr {
     /// Opcode.
     pub op: Op,

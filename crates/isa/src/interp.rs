@@ -261,11 +261,12 @@ impl Interp {
                 Op::Syscall => {
                     let service = self.reg(ArchReg::V0);
                     let a0 = self.reg(ArchReg::A0);
-                    let outcome = syscall::execute(service, a0, &mut self.io)
-                        .map_err(|e| InterpError::UnknownSyscall {
+                    let outcome = syscall::execute(service, a0, &mut self.io).map_err(|e| {
+                        InterpError::UnknownSyscall {
                             pc,
                             service: e.service,
-                        })?;
+                        }
+                    })?;
                     reg_write = outcome.reg_write;
                     if let Some(code) = outcome.exit {
                         halt = Some(Halt::Exited(code));

@@ -17,14 +17,13 @@
 //! Multiply and divide are single-destination (`MUL`, `MULH`, `DIV`, `REM`):
 //! there are no `HI`/`LO` registers in this ISA.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Every opcode of the SSA ISA.
 ///
 /// Operand roles are uniform per format; see [`crate::instr::Instr`] for how
 /// `rd`/`rs`/`rt`/`imm` are interpreted for each opcode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // each variant is documented by the table in `kind`
 pub enum Op {
     // Three-register ALU: rd <- rs OP rt.
@@ -89,7 +88,7 @@ pub enum Op {
 }
 
 /// Broad execution class of an opcode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// Single-cycle integer ALU operation (including compares and `LUI`).
     IntAlu,

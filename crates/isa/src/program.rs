@@ -1,7 +1,6 @@
 //! Linked program images and the conventional memory layout.
 
 use crate::mem::Memory;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Base address of the text (code) segment.
@@ -12,7 +11,7 @@ pub const DATA_BASE: u32 = 0x1000_0000;
 pub const STACK_TOP: u32 = 0x7fff_f000;
 
 /// What a [`Section`] contains.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SectionKind {
     /// Executable instructions.
     Text,
@@ -21,7 +20,7 @@ pub enum SectionKind {
 }
 
 /// A contiguous chunk of the program image.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Section {
     /// Load address of the first byte.
     pub base: u32,
@@ -57,7 +56,7 @@ impl Section {
 /// assert_eq!(prog.entry, tracefill_isa::program::TEXT_BASE);
 /// # Ok::<(), tracefill_isa::asm::AsmError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     /// Address of the first instruction to execute.
     pub entry: u32,

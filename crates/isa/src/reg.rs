@@ -5,7 +5,6 @@
 //! they cannot be confused with physical registers or plain indices elsewhere
 //! in the workspace.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -27,7 +26,7 @@ pub const NUM_ARCH_REGS: usize = NUM_GPRS;
 /// assert_eq!(sp.index(), 29);
 /// # Ok::<(), tracefill_isa::reg::ParseRegError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ArchReg(u8);
 
 impl ArchReg {

@@ -132,7 +132,10 @@ mod tests {
     fn division_is_total() {
         assert_eq!(alu_result(Op::Div, 7, 0, 0), 0);
         assert_eq!(alu_result(Op::Rem, 7, 0, 0), 0);
-        assert_eq!(alu_result(Op::Div, i32::MIN as u32, -1i32 as u32, 0), i32::MIN as u32);
+        assert_eq!(
+            alu_result(Op::Div, i32::MIN as u32, -1i32 as u32, 0),
+            i32::MIN as u32
+        );
         assert_eq!(alu_result(Op::Rem, i32::MIN as u32, -1i32 as u32, 0), 0);
         assert_eq!(alu_result(Op::Div, -7i32 as u32, 2, 0), -3i32 as u32);
     }

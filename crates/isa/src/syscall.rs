@@ -8,7 +8,6 @@
 //! is identical by construction.
 
 use crate::reg::ArchReg;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Service numbers (in `$v0`) understood by `SYSCALL`.
@@ -22,7 +21,7 @@ pub mod service {
 }
 
 /// Input/output channels a program interacts with through `SYSCALL`.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IoCtx {
     /// Values `READ_INT` will return, in order.
     pub input: VecDeque<u32>,
@@ -41,7 +40,7 @@ impl IoCtx {
 }
 
 /// Architecturally visible outcome of one `SYSCALL`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SyscallOutcome {
     /// Register written by the service, if any (always `$v0` today).
     pub reg_write: Option<(ArchReg, u32)>,
@@ -117,10 +116,7 @@ mod tests {
     #[test]
     fn exit_and_unknown() {
         let mut io = IoCtx::default();
-        assert_eq!(
-            execute(service::EXIT, 3, &mut io).unwrap().exit,
-            Some(3)
-        );
+        assert_eq!(execute(service::EXIT, 3, &mut io).unwrap().exit, Some(3));
         assert!(execute(99, 0, &mut io).is_err());
     }
 }

@@ -87,10 +87,7 @@ fn pseudo_li_boundary_values() {
     )
     .unwrap();
     let ops: Vec<Op> = p.text_words().map(|(_, w)| decode(w).unwrap().op).collect();
-    assert_eq!(
-        ops,
-        vec![Op::Addi, Op::Addi, Op::Ori, Op::Lui, Op::Ori]
-    );
+    assert_eq!(ops, vec![Op::Addi, Op::Addi, Op::Ori, Op::Lui, Op::Ori]);
     // Values must survive the expansion.
     let mut i = tracefill_isa::interp::Interp::new(&p);
     for _ in 0..5 {

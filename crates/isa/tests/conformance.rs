@@ -17,7 +17,8 @@ fn outputs(src: &str) -> Vec<u32> {
 fn outputs_with(src: &str, input: &[u32]) -> Vec<u32> {
     let prog = assemble(src).unwrap_or_else(|e| panic!("assembly failed: {e}"));
     let mut i = Interp::with_io(&prog, IoCtx::with_input(input.iter().copied()));
-    i.run(1_000_000).unwrap_or_else(|e| panic!("run failed: {e}"));
+    i.run(1_000_000)
+        .unwrap_or_else(|e| panic!("run failed: {e}"));
     i.io().output.clone()
 }
 
@@ -134,10 +135,7 @@ main:   li   $t0, 0x80000001
         li   $v0, 10
         syscall
 "#;
-    assert_eq!(
-        outputs(src),
-        vec![0x0000_0010, 0x0800_0000, 0xf800_0000]
-    );
+    assert_eq!(outputs(src), vec![0x0000_0010, 0x0800_0000, 0xf800_0000]);
 }
 
 #[test]

@@ -28,8 +28,8 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
             // Normalize unused register fields to $zero the way the
             // constructors do, so decode output compares equal.
             match op {
-                Add | Sub | And | Or | Xor | Nor | Slt | Sltu | Sllv | Srlv | Srav | Mul
-                | Mulh | Div | Rem | Lwx => Instr::alu(op, rd, rs, rt),
+                Add | Sub | And | Or | Xor | Nor | Slt | Sltu | Sllv | Srlv | Srav | Mul | Mulh
+                | Div | Rem | Lwx => Instr::alu(op, rd, rs, rt),
                 Sll | Srl | Sra | Addi | Andi | Ori | Xori | Slti | Sltiu => {
                     Instr::alu_imm(op, rd, rs, imm)
                 }

@@ -1,6 +1,5 @@
 //! Simulator configuration, defaulting to the paper's machine (§3).
 
-use serde::{Deserialize, Serialize};
 use tracefill_core::config::{ClusterConfig, FillConfig, TraceCacheConfig};
 use tracefill_isa::op::OpKind;
 use tracefill_uarch::bias::BiasConfig;
@@ -12,7 +11,7 @@ use tracefill_uarch::pht::PredictorConfig;
 ///
 /// Loads pay `load_agen` for address generation plus the data-cache access
 /// latency from the memory hierarchy; everything else is a fixed count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyConfig {
     /// Integer ALU (including scaled adds, which stay single-cycle — the
     /// paper bounds the extra ALU path to ~2 gate delays).
@@ -58,7 +57,7 @@ impl LatencyConfig {
 }
 
 /// Full machine configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Instructions fetched per cycle from the trace cache (paper: 16).
     pub fetch_width: usize,

@@ -42,8 +42,10 @@ impl Simulator {
             let trace_id = u.id;
             let inactive = u.inactive;
             if self.trace.enabled() {
-                self.trace
-                    .push(self.cycle, crate::tracelog::Event::Complete { uop: trace_id });
+                self.trace.push(
+                    self.cycle,
+                    crate::tracelog::Event::Complete { uop: trace_id },
+                );
             }
             if is_branch {
                 if let Some(b) = self.uops.get_mut(&id).and_then(|u| u.branch.as_mut()) {
@@ -108,9 +110,11 @@ impl Simulator {
             .iter()
             .copied()
             .filter(|id| {
-                self.uops
-                    .get(id)
-                    .is_some_and(|u| u.mem.as_ref().is_some_and(|m| !m.is_load && m.addr.is_none()))
+                self.uops.get(id).is_some_and(|u| {
+                    u.mem
+                        .as_ref()
+                        .is_some_and(|m| !m.is_load && m.addr.is_none())
+                })
             })
             .collect();
         for id in store_ids {
@@ -131,7 +135,9 @@ impl Simulator {
         for fu in 0..self.rs.len() {
             let mut best: Option<UopId> = None;
             for &id in &self.rs[fu] {
-                let Some(u) = self.uops.get(&id) else { continue };
+                let Some(u) = self.uops.get(&id) else {
+                    continue;
+                };
                 if u.state != UopState::Waiting || u.mem_deferred {
                     continue;
                 }
@@ -190,7 +196,9 @@ impl Simulator {
             if other_id == id {
                 break;
             }
-            let Some(o) = self.uops.get(&other_id) else { continue };
+            let Some(o) = self.uops.get(&other_id) else {
+                continue;
+            };
             let Some(om) = o.mem.as_ref() else { continue };
             if om.is_load {
                 continue;

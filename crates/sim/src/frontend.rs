@@ -230,9 +230,7 @@ impl Simulator {
                 return t;
             }
         }
-        self.itb
-            .predict(pc)
-            .unwrap_or_else(|| pc.wrapping_add(4))
+        self.itb.predict(pc).unwrap_or_else(|| pc.wrapping_add(4))
     }
 
     /// Builds a bundle from the supporting instruction cache: sequential

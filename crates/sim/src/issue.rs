@@ -52,8 +52,7 @@ impl Simulator {
                 return;
             }
             let slot = p.bundle.slots[p.next].clone();
-            let needs_ckpt = !slot.inactive
-                && (slot.op.is_cond_branch() || slot.op.is_indirect());
+            let needs_ckpt = !slot.inactive && (slot.op.is_cond_branch() || slot.op.is_indirect());
             if needs_ckpt {
                 if ckpts >= self.cfg.checkpoints_per_cycle {
                     return;
@@ -240,9 +239,7 @@ impl Simulator {
         }
 
         // Dispatch.
-        let needs_rs = !uop.is_move
-            && !uop.is_system()
-            && !matches!(uop.op, Op::J | Op::Jal);
+        let needs_rs = !uop.is_move && !uop.is_system() && !matches!(uop.op, Op::J | Op::Jal);
         if needs_rs {
             self.rs[uop.fu as usize].push(id);
         }
@@ -319,16 +316,15 @@ impl Simulator {
                     self.rat[reg.index()]
                 }
             }
-            SrcRef::Internal(pslot) => self
-                .pending
-                .as_ref()
-                .unwrap()
-                .line_phys[pslot as usize]
+            SrcRef::Internal(pslot) => self.pending.as_ref().unwrap().line_phys[pslot as usize]
                 .expect("internal reference to un-issued slot"),
         }
     }
 
-    fn current_rat_mut(&mut self, in_shadow: bool) -> &mut [PhysReg; tracefill_isa::reg::NUM_ARCH_REGS] {
+    fn current_rat_mut(
+        &mut self,
+        in_shadow: bool,
+    ) -> &mut [PhysReg; tracefill_isa::reg::NUM_ARCH_REGS] {
         if in_shadow {
             &mut self
                 .pending

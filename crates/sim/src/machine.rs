@@ -102,6 +102,12 @@ pub enum RunExit {
     Break,
     /// The cycle budget ran out before the program finished.
     CycleLimit,
+    /// The instruction budget was reached (see
+    /// [`Simulator::run_budgeted`]).
+    InstrLimit,
+    /// An external cancellation flag was raised mid-run (see
+    /// [`Simulator::run_budgeted`]).
+    Cancelled,
 }
 
 /// A fatal simulation error (always a simulator bug or a bad program).
@@ -133,7 +139,10 @@ impl fmt::Display for SimError {
                 write!(f, "oracle mismatch at cycle {cycle}: {detail}")
             }
             SimError::Deadlock { cycle, retired } => {
-                write!(f, "no retirement progress by cycle {cycle} ({retired} retired)")
+                write!(
+                    f,
+                    "no retirement progress by cycle {cycle} ({retired} retired)"
+                )
             }
             SimError::Oracle(e) => write!(f, "oracle fault: {e}"),
         }
@@ -328,21 +337,15 @@ impl Simulator {
     /// no instruction retires for a long stretch, or [`SimError::Oracle`]
     /// for faults in the program itself.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunExit, SimError> {
-        let budget = self.cycle + max_cycles;
+        let budget = self.cycle.saturating_add(max_cycles);
         while self.cycle < budget {
             if let Some(h) = self.halted {
-                return Ok(match h {
-                    Halt::Exited(code) => RunExit::Exited(code),
-                    Halt::Break => RunExit::Break,
-                });
+                return Ok(Self::halt_exit(h));
             }
             self.step_cycle()?;
         }
         if let Some(h) = self.halted {
-            return Ok(match h {
-                Halt::Exited(code) => RunExit::Exited(code),
-                Halt::Break => RunExit::Break,
-            });
+            return Ok(Self::halt_exit(h));
         }
         Ok(RunExit::CycleLimit)
     }
@@ -358,14 +361,66 @@ impl Simulator {
         let target = self.stats.retired + n;
         while self.stats.retired < target {
             if let Some(h) = self.halted {
-                return Ok(match h {
-                    Halt::Exited(code) => RunExit::Exited(code),
-                    Halt::Break => RunExit::Break,
-                });
+                return Ok(Self::halt_exit(h));
             }
             self.step_cycle()?;
         }
         Ok(RunExit::CycleLimit)
+    }
+
+    /// Runs until `max_instrs` more instructions retire, `max_cycles` more
+    /// cycles elapse, the program exits, or `cancel` is raised — whichever
+    /// comes first.
+    ///
+    /// This is the campaign engine's hook: the instruction budget bounds
+    /// the measured window, the cycle budget is a hard watchdog against
+    /// pathological configurations that stop retiring (but keep resetting
+    /// the internal deadlock detector), and the cancellation flag lets a
+    /// worker pool abandon a run from another thread. The flag is polled
+    /// every [`CANCEL_POLL_CYCLES`](Self::CANCEL_POLL_CYCLES) cycles, so
+    /// cancellation latency is bounded and the hot loop stays branch-cheap.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_budgeted(
+        &mut self,
+        max_instrs: u64,
+        max_cycles: u64,
+        cancel: Option<&std::sync::atomic::AtomicBool>,
+    ) -> Result<RunExit, SimError> {
+        let instr_target = self.stats.retired.saturating_add(max_instrs);
+        let cycle_target = self.cycle.saturating_add(max_cycles);
+        loop {
+            if let Some(h) = self.halted {
+                return Ok(Self::halt_exit(h));
+            }
+            if self.stats.retired >= instr_target {
+                return Ok(RunExit::InstrLimit);
+            }
+            if self.cycle >= cycle_target {
+                return Ok(RunExit::CycleLimit);
+            }
+            if self.cycle.is_multiple_of(Self::CANCEL_POLL_CYCLES) {
+                if let Some(flag) = cancel {
+                    if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                        return Ok(RunExit::Cancelled);
+                    }
+                }
+            }
+            self.step_cycle()?;
+        }
+    }
+
+    /// How often (in cycles) [`run_budgeted`](Self::run_budgeted) polls its
+    /// cancellation flag.
+    pub const CANCEL_POLL_CYCLES: u64 = 1024;
+
+    fn halt_exit(h: Halt) -> RunExit {
+        match h {
+            Halt::Exited(code) => RunExit::Exited(code),
+            Halt::Break => RunExit::Break,
+        }
     }
 
     /// Simulates one cycle.
@@ -422,9 +477,17 @@ impl Simulator {
     pub fn dump_window(&self, n: usize) -> String {
         use std::fmt::Write;
         let mut s = String::new();
-        let _ = writeln!(s, "cycle {} window={} lsq={}", self.cycle, self.window.len(), self.lsq.len());
+        let _ = writeln!(
+            s,
+            "cycle {} window={} lsq={}",
+            self.cycle,
+            self.window.len(),
+            self.lsq.len()
+        );
         for &id in self.window.iter().take(n) {
-            let Some(u) = self.uops.get(&id) else { continue };
+            let Some(u) = self.uops.get(&id) else {
+                continue;
+            };
             let srcs: Vec<String> = u
                 .srcs
                 .iter()
@@ -452,3 +515,11 @@ impl Simulator {
         s
     }
 }
+
+// The campaign engine moves `Simulator`s across worker threads; every field
+// is owned data (no `Rc`, interior pointers or thread affinity), and this
+// assertion keeps it that way at compile time.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Simulator>();
+};

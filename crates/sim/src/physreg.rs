@@ -13,10 +13,8 @@
 //! `cross_cluster_latency` cycles later (paper §3), which is what the
 //! placement optimization (§4.5) attacks.
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a physical register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PhysReg(pub u16);
 
 /// Sentinel cluster meaning "visible everywhere immediately" (architectural
@@ -102,7 +100,11 @@ impl PhysFile {
     /// Writes the value a producer computed, visible in the producer's
     /// cluster at `done_at` and elsewhere one cross-cluster hop later.
     pub fn write(&mut self, p: PhysReg, val: u32, done_at: u64, cluster: u8) {
-        debug_assert_ne!(p, Self::ZERO, "writes to the zero register are dropped earlier");
+        debug_assert_ne!(
+            p,
+            Self::ZERO,
+            "writes to the zero register are dropped earlier"
+        );
         self.vals[p.0 as usize] = val;
         self.done_at[p.0 as usize] = done_at;
         self.cluster[p.0 as usize] = cluster;

@@ -152,7 +152,13 @@ impl Simulator {
                     let u = self.uops.get_mut(&id).unwrap();
                     let b = u.branch.as_mut().expect("branch uop has context");
                     b.checkpoint = Some(ckpt_id);
-                    (b.embedded, b.promoted, b.resolved, b.actual_taken, b.actual_next)
+                    (
+                        b.embedded,
+                        b.promoted,
+                        b.resolved,
+                        b.actual_taken,
+                        b.actual_next,
+                    )
                 };
 
                 if op.is_cond_branch() {

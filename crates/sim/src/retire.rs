@@ -207,9 +207,7 @@ impl Simulator {
                 if got != val {
                     return Err(SimError::OracleMismatch {
                         cycle: self.cycle,
-                        detail: format!(
-                            "syscall wrote {reg}={got:#x}, oracle expects {val:#x}"
-                        ),
+                        detail: format!("syscall wrote {reg}={got:#x}, oracle expects {val:#x}"),
                     });
                 }
             }
@@ -266,9 +264,7 @@ impl Simulator {
             )));
         }
         // Register write.
-        let sim_write = u
-            .dest
-            .map(|(reg, p)| (reg, self.phys.value(p)));
+        let sim_write = u.dest.map(|(reg, p)| (reg, self.phys.value(p)));
         if sim_write != r.reg_write {
             return Err(fail(format!(
                 "register effect mismatch at {:#x} `{}`: sim {:?}, oracle {:?}",

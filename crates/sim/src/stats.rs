@@ -1,11 +1,11 @@
 //! Simulation statistics — everything the paper's tables and figures need.
 
-use serde::{Deserialize, Serialize};
 use tracefill_core::tcache::TraceCacheStats;
 use tracefill_uarch::cache::CacheStats;
+use tracefill_util::Json;
 
 /// Counters accumulated over a simulation run.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Cycles simulated.
     pub cycles: u64,
@@ -99,8 +99,61 @@ impl Stats {
     }
 }
 
+impl Stats {
+    /// All counters as a flat JSON object (deterministic member order).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("cycles", self.cycles)
+            .with("retired", self.retired)
+            .with("retired_moves", self.retired_moves)
+            .with("retired_reassoc", self.retired_reassoc)
+            .with("retired_scadd", self.retired_scadd)
+            .with("retired_from_tc", self.retired_from_tc)
+            .with("bypass_delayed", self.bypass_delayed)
+            .with("fu_executed", self.fu_executed)
+            .with("branches", self.branches)
+            .with("branch_mispredicts", self.branch_mispredicts)
+            .with("inactive_rescues", self.inactive_rescues)
+            .with("activated_uops", self.activated_uops)
+            .with("discarded_inactive_uops", self.discarded_inactive_uops)
+            .with("indirects", self.indirects)
+            .with("indirect_mispredicts", self.indirect_mispredicts)
+            .with("squashed_uops", self.squashed_uops)
+            .with("icache_stall_cycles", self.icache_stall_cycles)
+            .with("serialize_stall_cycles", self.serialize_stall_cycles)
+    }
+
+    /// Reconstructs counters from [`to_json`](Self::to_json) output.
+    /// Unknown members are ignored; missing members default to zero.
+    #[must_use]
+    pub fn from_json(v: &Json) -> Stats {
+        let f = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
+        Stats {
+            cycles: f("cycles"),
+            retired: f("retired"),
+            retired_moves: f("retired_moves"),
+            retired_reassoc: f("retired_reassoc"),
+            retired_scadd: f("retired_scadd"),
+            retired_from_tc: f("retired_from_tc"),
+            bypass_delayed: f("bypass_delayed"),
+            fu_executed: f("fu_executed"),
+            branches: f("branches"),
+            branch_mispredicts: f("branch_mispredicts"),
+            inactive_rescues: f("inactive_rescues"),
+            activated_uops: f("activated_uops"),
+            discarded_inactive_uops: f("discarded_inactive_uops"),
+            indirects: f("indirects"),
+            indirect_mispredicts: f("indirect_mispredicts"),
+            squashed_uops: f("squashed_uops"),
+            icache_stall_cycles: f("icache_stall_cycles"),
+            serialize_stall_cycles: f("serialize_stall_cycles"),
+        }
+    }
+}
+
 /// A full report: pipeline counters plus the underlying structures' stats.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Report {
     /// Pipeline counters.
     pub stats: Stats,
@@ -112,6 +165,34 @@ pub struct Report {
     pub fill_segments: u64,
     /// Mean finalized segment length.
     pub mean_segment_len: f64,
+}
+
+impl Report {
+    /// The full report as a JSON object tree (deterministic member order).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let cache = |c: &CacheStats| Json::object().with("hits", c.hits).with("misses", c.misses);
+        Json::object()
+            .with("stats", self.stats.to_json())
+            .with(
+                "tcache",
+                Json::object()
+                    .with("hits", self.tcache.hits)
+                    .with("misses", self.tcache.misses)
+                    .with("full_path_hits", self.tcache.full_path_hits)
+                    .with("fills", self.tcache.fills)
+                    .with("refreshes", self.tcache.refreshes),
+            )
+            .with(
+                "caches",
+                Json::object()
+                    .with("l1i", cache(&self.caches.0))
+                    .with("l1d", cache(&self.caches.1))
+                    .with("l2", cache(&self.caches.2)),
+            )
+            .with("fill_segments", self.fill_segments)
+            .with("mean_segment_len", self.mean_segment_len)
+    }
 }
 
 #[cfg(test)]

@@ -191,7 +191,14 @@ mod tests {
     #[test]
     fn render_is_line_per_event() {
         let mut log = TraceLog::new(8);
-        log.push(5, Event::Fetch { pc: 0x400000, count: 16, tc: true });
+        log.push(
+            5,
+            Event::Fetch {
+                pc: 0x400000,
+                count: 16,
+                tc: true,
+            },
+        );
         log.push(
             6,
             Event::Issue {
@@ -201,7 +208,13 @@ mod tests {
                 inactive: false,
             },
         );
-        log.push(9, Event::Recover { anchor: 3, redirect: 0x400040 });
+        log.push(
+            9,
+            Event::Recover {
+                anchor: 3,
+                redirect: 0x400040,
+            },
+        );
         let text = log.render();
         assert_eq!(text.lines().count(), 3);
         assert!(text.contains("tcache"));

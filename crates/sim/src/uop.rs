@@ -250,9 +250,15 @@ mod tests {
         assert!(u.needs_checkpoint());
         assert!(!u.is_done());
         assert!(!u.is_system());
-        let jr = Uop { op: Op::Jr, ..u.clone() };
+        let jr = Uop {
+            op: Op::Jr,
+            ..u.clone()
+        };
         assert!(jr.needs_checkpoint());
-        let sys = Uop { op: Op::Syscall, ..u };
+        let sys = Uop {
+            op: Op::Syscall,
+            ..u
+        };
         assert!(sys.is_system());
         assert!(!sys.needs_checkpoint());
     }

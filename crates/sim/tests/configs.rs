@@ -193,10 +193,8 @@ loop:   li   $v0, 5
 "#;
 
 fn reference_output(prog: &Program, input: &[u32]) -> Vec<u32> {
-    let mut i = tracefill_isa::interp::Interp::with_io(
-        prog,
-        IoCtx::with_input(input.iter().copied()),
-    );
+    let mut i =
+        tracefill_isa::interp::Interp::with_io(prog, IoCtx::with_input(input.iter().copied()));
     i.run(10_000_000).expect("reference run exits");
     i.io().output.clone()
 }
@@ -207,7 +205,10 @@ fn configs() -> Vec<(&'static str, SimConfig)> {
         ("moves", SimConfig::with_opts(OptConfig::only_moves())),
         ("reassoc", SimConfig::with_opts(OptConfig::only_reassoc())),
         ("scadd", SimConfig::with_opts(OptConfig::only_scadd())),
-        ("placement", SimConfig::with_opts(OptConfig::only_placement())),
+        (
+            "placement",
+            SimConfig::with_opts(OptConfig::only_placement()),
+        ),
         ("all", SimConfig::with_opts(OptConfig::all())),
     ];
     let mut lat10 = SimConfig::with_opts(OptConfig::all());
@@ -236,8 +237,7 @@ fn check_program(name: &str, src: &str, input: &[u32]) {
     let prog = assemble(src).unwrap_or_else(|e| panic!("{name}: {e}"));
     let expect = reference_output(&prog, input);
     for (cname, cfg) in configs() {
-        let mut sim =
-            Simulator::with_io(&prog, cfg, IoCtx::with_input(input.iter().copied()));
+        let mut sim = Simulator::with_io(&prog, cfg, IoCtx::with_input(input.iter().copied()));
         let exit = sim
             .run(20_000_000)
             .unwrap_or_else(|e| panic!("{name}/{cname}: {e}"));
@@ -245,10 +245,7 @@ fn check_program(name: &str, src: &str, input: &[u32]) {
             matches!(exit, RunExit::Exited(_)),
             "{name}/{cname}: did not exit ({exit:?})"
         );
-        assert_eq!(
-            sim.io().output, expect,
-            "{name}/{cname}: output mismatch"
-        );
+        assert_eq!(sim.io().output, expect, "{name}/{cname}: output mismatch");
         assert!(sim.stats().retired > 0);
     }
 }

@@ -3,7 +3,8 @@ use tracefill_sim::{RunExit, SimConfig, Simulator};
 
 #[test]
 fn loop_program_runs() {
-    let prog = assemble(r#"
+    let prog = assemble(
+        r#"
         .text
 main:   li   $t0, 100
         li   $t1, 0
@@ -15,11 +16,18 @@ loop:   add  $t1, $t1, $t0
         syscall
         li   $v0, 10
         syscall
-"#).unwrap();
+"#,
+    )
+    .unwrap();
     let mut sim = Simulator::new(&prog, SimConfig::default());
     let exit = sim.run(1_000_000).unwrap();
-    eprintln!("exit={exit:?} cycles={} retired={} ipc={:.3} out={:?}",
-        sim.cycle(), sim.stats().retired, sim.stats().ipc(), sim.io().output);
+    eprintln!(
+        "exit={exit:?} cycles={} retired={} ipc={:.3} out={:?}",
+        sim.cycle(),
+        sim.stats().retired,
+        sim.stats().ipc(),
+        sim.io().output
+    );
     assert!(matches!(exit, RunExit::Exited(_)));
     assert_eq!(sim.io().output, vec![5050]);
 }

@@ -77,7 +77,9 @@ skip:   addi $s0, $s0, -1
     // The renderer produces one line per event and mentions each kind.
     let text = sim.trace().render();
     assert_eq!(text.lines().count(), sim.trace().len());
-    for needle in ["fetch", "issue", "execute", "complete", "retire", "recover", "activate"] {
+    for needle in [
+        "fetch", "issue", "execute", "complete", "retire", "recover", "activate",
+    ] {
         assert!(text.contains(needle), "missing `{needle}` in render");
     }
 }

@@ -8,10 +8,8 @@
 //! outcomes** using an 8 KB bias table (one byte per entry: 1 direction bit
 //! plus a 7-bit run counter).
 
-use serde::{Deserialize, Serialize};
-
 /// Configuration of the bias table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BiasConfig {
     /// Number of (tagless, PC-indexed) entries; power of two.
     pub entries: u32,

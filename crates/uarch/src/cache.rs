@@ -4,10 +4,8 @@
 //! in the simulator's backing memory (`tracefill_isa::mem::Memory`); the
 //! cache model answers "would this access have hit?".
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry of a set-associative cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub bytes: u32,
@@ -50,7 +48,7 @@ struct Line {
 }
 
 /// Running hit/miss counters for a cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Accesses that hit.
     pub hits: u64,
@@ -210,7 +208,7 @@ mod tests {
     #[test]
     fn lru_is_exact() {
         let mut c = tiny(); // 4 sets, 2 ways
-        // Three lines mapping to set 0 (stride = sets * line = 64).
+                            // Three lines mapping to set 0 (stride = sets * line = 64).
         let (a, b, d) = (0u32, 64, 128);
         assert!(!c.access(a));
         assert!(!c.access(b));

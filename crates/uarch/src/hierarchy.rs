@@ -6,10 +6,9 @@
 //! (the paper quotes its memory latency "if there is no bus contention").
 
 use crate::cache::{CacheConfig, CacheStats, SetAssocCache};
-use serde::{Deserialize, Serialize};
 
 /// Latency parameters of the hierarchy, in cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemTimings {
     /// First-level hit latency.
     pub l1_hit: u32,
@@ -30,7 +29,7 @@ impl Default for MemTimings {
 }
 
 /// Full configuration of the hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyConfig {
     /// Supporting instruction cache (the paper: 4 KB, 4-way).
     pub l1i: CacheConfig,

@@ -5,10 +5,8 @@
 //! table remembers the last observed target per PC; returns are handled by
 //! the [`ReturnStack`](crate::ras::ReturnStack) instead.
 
-use serde::{Deserialize, Serialize};
-
 /// Configuration of the target buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TargetBufferConfig {
     /// Number of entries (power of two).
     pub entries: u32,

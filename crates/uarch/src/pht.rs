@@ -12,10 +12,8 @@
 //! global history register. The history is updated speculatively at fetch
 //! and repaired from checkpoints on misprediction.
 
-use serde::{Deserialize, Serialize};
-
 /// Sizes of the three per-slot PHTs, in entries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PredictorConfig {
     /// Entries in tables for slots 0, 1, 2 (must be powers of two).
     pub table_entries: [u32; 3],
@@ -34,12 +32,12 @@ impl Default for PredictorConfig {
 }
 
 /// A snapshot of speculative predictor state, stored in checkpoints.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistorySnapshot(u32);
 
 /// Outcome of a prediction: the direction plus the table index used, which
 /// the caller passes back to [`MultiBranchPredictor::update`] at resolve.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Prediction {
     /// Predicted taken?
     pub taken: bool,

@@ -5,8 +5,6 @@
 //! misprediction recovery restores it wholesale — exact repair at a cost a
 //! simulator can afford.
 
-use serde::{Deserialize, Serialize};
-
 /// A fixed-depth circular return address stack.
 ///
 /// Pushes beyond the configured depth overwrite the oldest entry (as real
@@ -25,14 +23,14 @@ use serde::{Deserialize, Serialize};
 /// ras.restore(snap);
 /// assert_eq!(ras.pop(), Some(0x400));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReturnStack {
     entries: Vec<u32>,
     depth: usize,
 }
 
 /// A checkpointed copy of the stack.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RasSnapshot {
     entries: Vec<u32>,
 }

@@ -1,0 +1,79 @@
+//! FNV-1a 64-bit hashing.
+//!
+//! Used wherever the workspace needs a *stable* content hash — most
+//! importantly the campaign engine's run identifiers, which must not change
+//! across processes, platforms or compiler versions (unlike
+//! `std::hash::DefaultHasher`, whose output is explicitly unspecified).
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Hashes `bytes` with FNV-1a (64-bit).
+///
+/// ```
+/// // The well-known FNV-1a test vectors.
+/// assert_eq!(tracefill_util::fnv1a64(b""), 0xcbf29ce484222325);
+/// assert_eq!(tracefill_util::fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+/// ```
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Incremental FNV-1a hasher for composing a hash over several fields.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds `bytes` into the hash.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// The current hash value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut h = Fnv1a::new();
+        h.update(b"foo").update(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Seeded pseudo-random numbers without the `rand` crate.
+//!
+//! SplitMix64 (Steele, Lea & Flood, *Fast Splittable Pseudorandom Number
+//! Generators*, OOPSLA 2014) — the same mixer `rand` itself uses to seed
+//! larger generators. It is tiny, passes BigCrush when used directly, and —
+//! critically for the workload generator and the campaign engine — its
+//! output for a given seed is a *stable, documented* sequence that will
+//! never shift under a dependency upgrade.
+
+/// A SplitMix64 generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds yield equal sequences.
+    #[must_use]
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32 uniformly distributed bits (upper half of
+    /// [`next_u64`](Self::next_u64)).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value in `[lo, hi)` (half-open), via unbiased rejection
+    /// sampling. Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi - lo;
+        // Reject draws past the largest multiple of `span`, keeping the
+        // modulo unbiased: 2^64 mod span == ((MAX % span) + 1) % span.
+        let rem = (u64::MAX % span).wrapping_add(1) % span;
+        let max_valid = u64::MAX - rem; // inclusive
+        loop {
+            let v = self.next_u64();
+            if v <= max_valid {
+                return lo + v % span;
+            }
+        }
+    }
+
+    /// A uniform value in `[lo, hi)` as `u32`. Panics if `lo >= hi`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_u64(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// A uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range_u64(0, i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_sequence_for_seed_zero() {
+        // Known-good SplitMix64 outputs for seed 0 — if these ever change,
+        // every seeded workload in the repo silently changes with them.
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_hit_all_values() {
+        let mut r = SplitMix64::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = r.range_u32(10, 15);
+            assert!((10..15).contains(&v));
+            seen[(v - 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "range under-covers: {seen:?}");
+    }
+
+    #[test]
+    fn floats_are_unit_interval() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = SplitMix64::new(9);
+        let mut v: Vec<u32> = (0..32).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "shuffle left the slice sorted (astronomically unlikely)"
+        );
+    }
+}

@@ -5,10 +5,9 @@
 //! optimization. Used by ablation benches and tests that need controlled
 //! densities rather than realistic programs.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use tracefill_isa::asm::{assemble, AsmError};
 use tracefill_isa::Program;
+use tracefill_util::SplitMix64;
 
 /// Relative weights of the pattern blocks in the generated loop body.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,14 +44,19 @@ impl Default for PatternMix {
 ///
 /// Never in practice; the generator emits valid assembly (the error is
 /// propagated so tests can show context if a template regresses).
-pub fn generate(mix: &PatternMix, blocks: usize, scale: u32, seed: u64) -> Result<Program, AsmError> {
-    let mut rng = StdRng::seed_from_u64(seed);
+pub fn generate(
+    mix: &PatternMix,
+    blocks: usize,
+    scale: u32,
+    seed: u64,
+) -> Result<Program, AsmError> {
+    let mut rng = SplitMix64::new(seed);
     let total = mix.moves + mix.imm_chains + mix.shift_adds + mix.alu + mix.memory;
     assert!(total > 0, "empty pattern mix");
 
     let mut body = String::new();
     for b in 0..blocks {
-        let mut pick = rng.gen_range(0..total);
+        let mut pick = rng.range_u32(0, total);
         // Temp registers rotate so blocks interleave without false deps.
         let r1 = 8 + (b % 6) as u32; // $t0..$t5
         let r2 = 8 + ((b + 3) % 6) as u32;
@@ -64,8 +68,8 @@ pub fn generate(mix: &PatternMix, blocks: usize, scale: u32, seed: u64) -> Resul
         }
         pick -= mix.moves;
         if pick < mix.imm_chains {
-            let c1 = rng.gen_range(1..16);
-            let c2 = rng.gen_range(1..16);
+            let c1 = rng.range_u32(1, 16);
+            let c2 = rng.range_u32(1, 16);
             body.push_str(&format!(
                 r#"        addi ${r1}, $s3, {c1}
         bltz $s4, skip{b}        # never taken: creates the block boundary
@@ -77,7 +81,7 @@ skip{b}: addi ${r2}, ${r1}, {c2}
         }
         pick -= mix.imm_chains;
         if pick < mix.shift_adds {
-            let sh = rng.gen_range(1..4);
+            let sh = rng.range_u32(1, 4);
             body.push_str(&format!(
                 r#"        andi ${r1}, $s3, 63
         sll  ${r2}, ${r1}, {sh}
@@ -90,7 +94,7 @@ skip{b}: addi ${r2}, ${r1}, {c2}
         }
         pick -= mix.shift_adds;
         if pick < mix.alu {
-            let c = rng.gen_range(1..64);
+            let c = rng.range_u32(1, 64);
             body.push_str(&format!(
                 "        xor  ${r1}, $s3, $s5\n        addi $s5, $s5, {c}\n        add  $s3, $s3, ${r1}\n"
             ));

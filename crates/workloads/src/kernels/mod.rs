@@ -12,8 +12,8 @@ pub mod chess;
 pub mod compress;
 pub mod gcc;
 pub mod ghostscript;
-pub mod go;
 pub mod gnuplot;
+pub mod go;
 pub mod ijpeg;
 pub mod li;
 pub mod m88ksim;

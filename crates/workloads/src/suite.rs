@@ -79,7 +79,12 @@ pub fn suite() -> Vec<Benchmark> {
             description: "LZW-style hashing over a byte stream",
             paper_input: "modified test.in (30000 elements)",
             paper_icount: "95M",
-            table2: Table2Row { moves: 3.0, reassoc: 1.5, scadd: 3.8, total: 8.3 },
+            table2: Table2Row {
+                moves: 3.0,
+                reassoc: 1.5,
+                scadd: 3.8,
+                total: 8.3,
+            },
             instrs_per_scale: 16_500,
             source_fn: kernels::compress::source,
         },
@@ -89,7 +94,12 @@ pub fn suite() -> Vec<Benchmark> {
             description: "symbol-table / expression-tree manipulation",
             paper_input: "jump.i",
             paper_icount: "157M",
-            table2: Table2Row { moves: 6.4, reassoc: 2.2, scadd: 3.1, total: 11.7 },
+            table2: Table2Row {
+                moves: 6.4,
+                reassoc: 2.2,
+                scadd: 3.1,
+                total: 11.7,
+            },
             instrs_per_scale: 11900,
             source_fn: kernels::gcc::source,
         },
@@ -99,7 +109,12 @@ pub fn suite() -> Vec<Benchmark> {
             description: "board-position evaluation on a 19x19 grid",
             paper_input: "2stone9.in",
             paper_icount: "151M",
-            table2: Table2Row { moves: 2.5, reassoc: 0.7, scadd: 9.6, total: 12.8 },
+            table2: Table2Row {
+                moves: 2.5,
+                reassoc: 0.7,
+                scadd: 9.6,
+                total: 12.8,
+            },
             instrs_per_scale: 6600,
             source_fn: kernels::go::source,
         },
@@ -109,7 +124,12 @@ pub fn suite() -> Vec<Benchmark> {
             description: "8x8 block transform and quantization",
             paper_input: "penguin.ppm",
             paper_icount: "500M",
-            table2: Table2Row { moves: 4.6, reassoc: 2.1, scadd: 5.9, total: 12.6 },
+            table2: Table2Row {
+                moves: 4.6,
+                reassoc: 2.1,
+                scadd: 5.9,
+                total: 12.6,
+            },
             instrs_per_scale: 17100,
             source_fn: kernels::ijpeg::source,
         },
@@ -119,7 +139,12 @@ pub fn suite() -> Vec<Benchmark> {
             description: "Lisp-style cons-cell list processing",
             paper_input: "train.lsp",
             paper_icount: "500M",
-            table2: Table2Row { moves: 8.0, reassoc: 2.1, scadd: 1.3, total: 11.4 },
+            table2: Table2Row {
+                moves: 8.0,
+                reassoc: 2.1,
+                scadd: 1.3,
+                total: 11.4,
+            },
             instrs_per_scale: 2790,
             source_fn: kernels::li::source,
         },
@@ -129,7 +154,12 @@ pub fn suite() -> Vec<Benchmark> {
             description: "instruction-set simulator of a toy ISA",
             paper_input: "dhry.test",
             paper_icount: "493M",
-            table2: Table2Row { moves: 8.2, reassoc: 12.9, scadd: 1.2, total: 22.3 },
+            table2: Table2Row {
+                moves: 8.2,
+                reassoc: 12.9,
+                scadd: 1.2,
+                total: 22.3,
+            },
             instrs_per_scale: 1_600,
             source_fn: kernels::m88ksim::source,
         },
@@ -139,7 +169,12 @@ pub fn suite() -> Vec<Benchmark> {
             description: "string hashing and associative-array probing",
             paper_input: "scrabbl.pl",
             paper_icount: "41M",
-            table2: Table2Row { moves: 6.3, reassoc: 1.1, scadd: 3.3, total: 10.7 },
+            table2: Table2Row {
+                moves: 6.3,
+                reassoc: 1.1,
+                scadd: 3.3,
+                total: 10.7,
+            },
             instrs_per_scale: 1670,
             source_fn: kernels::perl::source,
         },
@@ -149,7 +184,12 @@ pub fn suite() -> Vec<Benchmark> {
             description: "object-database transaction processing",
             paper_input: "vortex.in",
             paper_icount: "214M",
-            table2: Table2Row { moves: 9.4, reassoc: 3.9, scadd: 1.9, total: 15.2 },
+            table2: Table2Row {
+                moves: 9.4,
+                reassoc: 3.9,
+                scadd: 1.9,
+                total: 15.2,
+            },
             instrs_per_scale: 1_500,
             source_fn: kernels::vortex::source,
         },
@@ -159,7 +199,12 @@ pub fn suite() -> Vec<Benchmark> {
             description: "sliding-piece move generation (0x88 board)",
             paper_input: "(common UNIX application)",
             paper_icount: "119M",
-            table2: Table2Row { moves: 3.4, reassoc: 10.4, scadd: 5.7, total: 19.5 },
+            table2: Table2Row {
+                moves: 3.4,
+                reassoc: 10.4,
+                scadd: 5.7,
+                total: 19.5,
+            },
             instrs_per_scale: 4_200,
             source_fn: kernels::chess::source,
         },
@@ -169,7 +214,12 @@ pub fn suite() -> Vec<Benchmark> {
             description: "fixed-point line rasterization",
             paper_input: "(common UNIX application)",
             paper_icount: "180M",
-            table2: Table2Row { moves: 4.6, reassoc: 7.9, scadd: 1.9, total: 14.4 },
+            table2: Table2Row {
+                moves: 4.6,
+                reassoc: 7.9,
+                scadd: 1.9,
+                total: 14.4,
+            },
             instrs_per_scale: 10_000,
             source_fn: kernels::ghostscript::source,
         },
@@ -179,7 +229,12 @@ pub fn suite() -> Vec<Benchmark> {
             description: "multi-precision (bignum) multiplication",
             paper_input: "(common UNIX application)",
             paper_icount: "322M",
-            table2: Table2Row { moves: 7.9, reassoc: 4.0, scadd: 1.0, total: 12.9 },
+            table2: Table2Row {
+                moves: 7.9,
+                reassoc: 4.0,
+                scadd: 1.0,
+                total: 12.9,
+            },
             instrs_per_scale: 870,
             source_fn: kernels::pgp::source,
         },
@@ -189,7 +244,12 @@ pub fn suite() -> Vec<Benchmark> {
             description: "coordinate-transform and clipping pipeline",
             paper_input: "(common UNIX application)",
             paper_icount: "284M",
-            table2: Table2Row { moves: 11.3, reassoc: 1.4, scadd: 2.3, total: 15.0 },
+            table2: Table2Row {
+                moves: 11.3,
+                reassoc: 1.4,
+                scadd: 2.3,
+                total: 15.0,
+            },
             instrs_per_scale: 2_300,
             source_fn: kernels::gnuplot::source,
         },
@@ -199,7 +259,12 @@ pub fn suite() -> Vec<Benchmark> {
             description: "stack-based bytecode interpreter",
             paper_input: "(common UNIX application)",
             paper_icount: "220M",
-            table2: Table2Row { moves: 6.3, reassoc: 2.8, scadd: 2.8, total: 11.9 },
+            table2: Table2Row {
+                moves: 6.3,
+                reassoc: 2.8,
+                scadd: 2.8,
+                total: 11.9,
+            },
             instrs_per_scale: 900,
             source_fn: kernels::python::source,
         },
@@ -209,7 +274,12 @@ pub fn suite() -> Vec<Benchmark> {
             description: "event-driven simulator (queues, bit fields)",
             paper_input: "(common UNIX application)",
             paper_icount: "100M",
-            table2: Table2Row { moves: 4.9, reassoc: 1.1, scadd: 3.1, total: 9.1 },
+            table2: Table2Row {
+                moves: 4.9,
+                reassoc: 1.1,
+                scadd: 3.1,
+                total: 9.1,
+            },
             instrs_per_scale: 1450,
             source_fn: kernels::simoutorder::source,
         },
@@ -219,7 +289,12 @@ pub fn suite() -> Vec<Benchmark> {
             description: "dynamic-programming paragraph line breaking",
             paper_input: "(common UNIX application)",
             paper_icount: "164M",
-            table2: Table2Row { moves: 3.1, reassoc: 0.6, scadd: 5.2, total: 8.9 },
+            table2: Table2Row {
+                moves: 3.1,
+                reassoc: 0.6,
+                scadd: 5.2,
+                total: 8.9,
+            },
             instrs_per_scale: 3260,
             source_fn: kernels::tex::source,
         },
@@ -231,6 +306,44 @@ pub fn by_name(name: &str) -> Option<Benchmark> {
     suite()
         .into_iter()
         .find(|b| b.name == name || b.full_name == name)
+}
+
+/// The suite's short names, in Table 1 / figure order. This is the
+/// canonical enumeration campaign harnesses expand `"all"` against and the
+/// order report tables sort their rows by.
+#[must_use]
+pub fn names() -> Vec<&'static str> {
+    suite().iter().map(|b| b.name).collect()
+}
+
+/// Resolves a benchmark *selection spec* into concrete short names.
+///
+/// `"all"` expands to the full suite; anything else must match a short or
+/// full benchmark name (full names are canonicalized to short ones).
+///
+/// # Errors
+///
+/// An explanatory message naming the offending token and listing the
+/// available benchmarks.
+pub fn select(specs: &[impl AsRef<str>]) -> Result<Vec<&'static str>, String> {
+    let mut out = Vec::new();
+    for spec in specs {
+        let spec = spec.as_ref();
+        if spec == "all" {
+            out.extend(names());
+        } else if let Some(b) = suite()
+            .iter()
+            .find(|b| b.name == spec || b.full_name == spec)
+        {
+            out.push(b.name);
+        } else {
+            return Err(format!(
+                "unknown benchmark `{spec}` (expected `all` or one of: {})",
+                names().join(", ")
+            ));
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -263,6 +376,21 @@ mod tests {
         assert!(by_name("m88k").is_some());
         assert!(by_name("m88ksim").is_some());
         assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn names_match_suite_order() {
+        let n = names();
+        assert_eq!(n.len(), 15);
+        assert_eq!(n[0], "comp");
+        assert_eq!(n[14], "tex");
+    }
+
+    #[test]
+    fn select_expands_all_and_canonicalizes() {
+        assert_eq!(select(&["all"]).unwrap().len(), 15);
+        assert_eq!(select(&["m88ksim"]).unwrap(), ["m88k"]);
+        assert!(select(&["nonesuch"]).unwrap_err().contains("nonesuch"));
     }
 
     #[test]

@@ -60,7 +60,11 @@ hist:   .space 256
     println!("  reassociable chains  : {:5.1}%", c.reassoc * 100.0);
     println!("  scaled-add pairs     : {:5.1}%", c.scadd * 100.0);
     println!("  conditional branches : {:5.1}%", c.branches * 100.0);
-    println!("  loads / stores       : {:5.1}% / {:.1}%", c.loads * 100.0, c.stores * 100.0);
+    println!(
+        "  loads / stores       : {:5.1}% / {:.1}%",
+        c.loads * 100.0,
+        c.stores * 100.0
+    );
 
     // 2. Run it, feeding the bucket count through the input channel.
     let io = IoCtx::with_input([13]);

@@ -58,7 +58,10 @@ fn main() {
     };
 
     println!("optimizations: {spec}");
-    println!("{:6} {:>9} {:>9} {:>8}", "bench", "base IPC", "opt IPC", "delta");
+    println!(
+        "{:6} {:>9} {:>9} {:>8}",
+        "bench", "base IPC", "opt IPC", "delta"
+    );
     for b in &benches {
         let (base, opt) = measure(b, opts);
         println!(

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Tier-1 verification — runs fully offline (the workspace has no external
+# dependencies; proptest/criterion targets are feature-gated off).
+#
+#   scripts/ci.sh
+#
+# Fails on the first failing step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> OK"

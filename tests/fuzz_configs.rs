@@ -55,10 +55,7 @@ fn random_programs_times_random_machines_stay_architectural() {
         let exit = sim
             .run(100_000_000)
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        assert!(
-            matches!(exit, RunExit::Exited(_)),
-            "seed {seed}: {exit:?}"
-        );
+        assert!(matches!(exit, RunExit::Exited(_)), "seed {seed}: {exit:?}");
         assert_eq!(
             sim.io().output,
             interp.io().output,

@@ -42,9 +42,18 @@ fn combined_optimizations_help_on_geomean() {
 #[test]
 fn moves_help_the_move_dense_benchmarks() {
     // Paper fig 3: ~5% average; the win tracks move density.
-    let plot = improvement(&tracefill_workloads::by_name("plot").unwrap(), OptConfig::only_moves());
-    let gcc = improvement(&tracefill_workloads::by_name("gcc").unwrap(), OptConfig::only_moves());
-    assert!(plot > 0.05, "gnuplot should gain >5% from moves, got {plot:+.3}");
+    let plot = improvement(
+        &tracefill_workloads::by_name("plot").unwrap(),
+        OptConfig::only_moves(),
+    );
+    let gcc = improvement(
+        &tracefill_workloads::by_name("gcc").unwrap(),
+        OptConfig::only_moves(),
+    );
+    assert!(
+        plot > 0.05,
+        "gnuplot should gain >5% from moves, got {plot:+.3}"
+    );
     assert!(gcc > 0.03, "gcc should gain >3% from moves, got {gcc:+.3}");
 }
 
@@ -99,10 +108,7 @@ loop:   xor  $s0, $s0, $s7
     let frac = |opts: OptConfig| {
         let mut sim = Simulator::new(&prog, SimConfig::with_opts(opts));
         sim.run_instrs(WARMUP + WINDOW).unwrap();
-        (
-            sim.stats().bypass_delay_fraction(),
-            sim.stats().ipc(),
-        )
+        (sim.stats().bypass_delay_fraction(), sim.stats().ipc())
     };
     let (base_frac, base_ipc) = frac(OptConfig::none());
     let (place_frac, place_ipc) = frac(OptConfig::only_placement());

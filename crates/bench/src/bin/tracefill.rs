@@ -3,12 +3,15 @@
 //! ```text
 //! tracefill run <file.s> [--opts all|none|moves,reassoc,scadd,placement,cse]
 //!                        [--input 1,2,3] [--max-cycles N] [--json]
+//!                        [--stats-json <file>]  # write the full report JSON
 //!                        [--trace N]   # print the last N pipeline events
+//! tracefill trace <file.s> [--out <file>] [--format jsonl|chrome] [--depth N]
+//!                          [--opts SPEC] [--input 1,2,3] [--max-cycles N]
 //! tracefill interp <file.s> [--input 1,2,3]
 //! tracefill characterize <file.s>
 //! tracefill suite [--opts SPEC] [--budget N]
 //! tracefill campaign <fig8|table2|spec.json> [--out results.jsonl] [--jobs N] [--quiet]
-//! tracefill report <results.jsonl> [--format fig8|table2|summary|all]
+//! tracefill report <results.jsonl> [--format fig8|table2|cpi|summary|all]
 //! ```
 //!
 //! Numeric flags are parsed strictly: a malformed value is a usage error
@@ -27,12 +30,13 @@ use tracefill_sim::{SimConfig, Simulator};
 fn usage() -> ! {
     eprintln!(
         "usage:
-  tracefill run <file.s> [--opts SPEC] [--input a,b,c] [--max-cycles N] [--json] [--trace N]
+  tracefill run <file.s> [--opts SPEC] [--input a,b,c] [--max-cycles N] [--json] [--stats-json <file>] [--trace N]
+  tracefill trace <file.s> [--out <file>] [--format jsonl|chrome] [--depth N] [--opts SPEC] [--input a,b,c] [--max-cycles N]
   tracefill interp <file.s> [--input a,b,c]
   tracefill characterize <file.s>
   tracefill suite [--opts SPEC] [--budget N]
   tracefill campaign <fig8|table2|spec.json> [--out results.jsonl] [--jobs N] [--quiet]
-  tracefill report <results.jsonl> [--format fig8|table2|summary|all]
+  tracefill report <results.jsonl> [--format fig8|table2|cpi|summary|all]
 
 SPEC is `all`, `none`, or a comma list of: moves reassoc scadd placement cse"
     );
@@ -112,6 +116,13 @@ fn cmd_run(args: &[String]) {
         exit(1);
     });
     let report = sim.report();
+    if let Some(stats_path) = flag_value(args, "--stats-json") {
+        let text = report.to_json().dump_pretty(2);
+        std::fs::write(&stats_path, text + "\n").unwrap_or_else(|e| {
+            eprintln!("cannot write {stats_path}: {e}");
+            exit(1);
+        });
+    }
     if json {
         println!("{}", report.to_json().dump_pretty(2));
         return;
@@ -136,9 +147,66 @@ fn cmd_run(args: &[String]) {
         "bypass-delayed: {:.1}% of FU-executed instructions",
         s.bypass_delay_fraction() * 100.0
     );
+    let cpi = report.cpi;
+    if cpi.base > 0 {
+        println!("CPI stack   : {:.4} total", 1.0 / s.ipc());
+        println!("  {:<15} {:.4}", "base", cpi.cpi_of(cpi.base));
+        for (name, slots) in cpi.stall_slots() {
+            if slots > 0 {
+                println!("  {:<15} {:.4}", name, cpi.cpi_of(slots));
+            }
+        }
+    }
     if trace_depth > 0 {
         println!("--- last {} pipeline events ---", sim.trace().len());
         print!("{}", sim.trace().render());
+    }
+}
+
+fn cmd_trace(args: &[String]) {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        usage()
+    };
+    let prog = load(path);
+    let opts = parse_opts(&flag_value(args, "--opts").unwrap_or_else(|| "all".into()));
+    let depth: usize = parse_flag(args, "--depth", 65_536);
+    if depth == 0 {
+        eprintln!("--depth must be at least 1");
+        exit(2);
+    }
+    let max_cycles: u64 = parse_flag(args, "--max-cycles", 200_000_000);
+    let format = flag_value(args, "--format").unwrap_or_else(|| "jsonl".into());
+
+    let cfg = SimConfig {
+        trace_depth: depth,
+        ..SimConfig::with_opts(opts)
+    };
+    let mut sim = Simulator::with_io(&prog, cfg, parse_input(args));
+    sim.run(max_cycles).unwrap_or_else(|e| {
+        eprintln!("simulation error: {e}");
+        exit(1);
+    });
+    let text = match format.as_str() {
+        "jsonl" => sim.trace().to_jsonl(),
+        "chrome" => sim.trace().to_chrome_trace().dump_pretty(2) + "\n",
+        other => {
+            eprintln!("unknown trace format `{other}` (expected jsonl, chrome)");
+            exit(2);
+        }
+    };
+    match flag_value(args, "--out") {
+        Some(out) => {
+            std::fs::write(&out, &text).unwrap_or_else(|e| {
+                eprintln!("cannot write {out}: {e}");
+                exit(1);
+            });
+            eprintln!(
+                "wrote {} events ({} bytes, {format}) -> {out}",
+                sim.trace().len(),
+                text.len()
+            );
+        }
+        None => print!("{text}"),
     }
 }
 
@@ -278,6 +346,7 @@ fn cmd_report(args: &[String]) {
     match format.as_str() {
         "fig8" => print!("{}", report::fig8_table(&records)),
         "table2" => print!("{}", report::table2_table(&records)),
+        "cpi" => print!("{}", report::cpi_table(&records)),
         "summary" => print!("{}", report::summary(&records)),
         "all" => {
             print!("{}", report::summary(&records));
@@ -285,9 +354,11 @@ fn cmd_report(args: &[String]) {
             print!("{}", report::fig8_table(&records));
             println!();
             print!("{}", report::table2_table(&records));
+            println!();
+            print!("{}", report::cpi_table(&records));
         }
         other => {
-            eprintln!("unknown report format `{other}` (expected fig8, table2, summary, all)");
+            eprintln!("unknown report format `{other}` (expected fig8, table2, cpi, summary, all)");
             exit(2);
         }
     }
@@ -297,6 +368,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("interp") => cmd_interp(&args[1..]),
         Some("characterize") => cmd_characterize(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),

@@ -13,6 +13,10 @@ use crate::opt::{self, OptCounts};
 use crate::segment::{SegEnd, Segment};
 use std::collections::VecDeque;
 use std::sync::Arc;
+use tracefill_util::Registry;
+
+/// Histogram bucket bounds for finalized-segment lengths (instructions).
+pub const SEGMENT_LEN_BOUNDS: &[u64] = &[1, 2, 4, 6, 8, 10, 12, 16, 24, 32];
 
 /// Running statistics of the fill unit.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -66,6 +70,9 @@ pub struct FillUnit {
     /// Segments traversing the fill pipeline: `(ready_cycle, segment)`.
     pipe: VecDeque<(u64, Arc<Segment>)>,
     stats: FillStats,
+    /// Accept/reject-reason counters from the optimization passes, plus
+    /// segment-shape distributions (`fill.segment_len`, `fill.seg_end.*`).
+    telemetry: Registry,
 }
 
 impl FillUnit {
@@ -76,6 +83,7 @@ impl FillUnit {
             builder: SegmentBuilder::new(),
             pipe: VecDeque::new(),
             stats: FillStats::default(),
+            telemetry: Registry::new(),
         }
     }
 
@@ -87,6 +95,14 @@ impl FillUnit {
     /// Statistics accumulated so far.
     pub fn stats(&self) -> FillStats {
         self.stats
+    }
+
+    /// Optimization accept/reject counters and segment-shape distributions
+    /// accumulated so far (`fill.<pass>.accept`,
+    /// `fill.<pass>.reject.<reason>`, `fill.segment_len`,
+    /// `fill.seg_end.<cause>`).
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
     }
 
     /// Offers one retired instruction at cycle `now`.
@@ -117,10 +133,29 @@ impl FillUnit {
         let Some(mut seg) = self.builder.finalize(end) else {
             return;
         };
-        let counts = opt::apply_all(&mut seg, &self.config.opts, &self.config.clusters);
+        let counts = opt::apply_all_telemetry(
+            &mut seg,
+            &self.config.opts,
+            &self.config.clusters,
+            &mut self.telemetry,
+        );
         self.stats.segments += 1;
         self.stats.slots += seg.slots.len() as u64;
         self.stats.opts.add(counts);
+        self.telemetry.observe(
+            "fill.segment_len",
+            SEGMENT_LEN_BOUNDS,
+            seg.slots.len() as u64,
+        );
+        self.telemetry.inc(match end {
+            SegEnd::Full => "fill.seg_end.full",
+            SegEnd::BranchLimit => "fill.seg_end.branch_limit",
+            SegEnd::Indirect => "fill.seg_end.indirect",
+            SegEnd::Serialize => "fill.seg_end.serialize",
+            SegEnd::Loop => "fill.seg_end.loop",
+            SegEnd::FetchAligned => "fill.seg_end.fetch_aligned",
+            SegEnd::Flushed => "fill.seg_end.flushed",
+        });
         self.pipe
             .push_back((now + self.config.latency as u64, Arc::new(seg)));
     }

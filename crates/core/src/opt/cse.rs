@@ -24,6 +24,7 @@
 
 use crate::segment::{Segment, SrcRef};
 use tracefill_isa::op::OpKind;
+use tracefill_util::Registry;
 
 /// A pure computation's identity within the segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,6 +38,13 @@ struct ExprKey {
 /// Applies common subexpression elimination; returns the number of
 /// duplicate computations converted to rename-time aliases.
 pub fn apply(seg: &mut Segment) -> u64 {
+    apply_counted(seg, &mut Registry::new())
+}
+
+/// [`apply`] with accept/reject telemetry recorded into `telemetry`
+/// (`fill.cse.accept` plus `fill.cse.reject.no_prior_match`, one count per
+/// pure candidate computation examined).
+pub fn apply_counted(seg: &mut Segment, telemetry: &mut Registry) -> u64 {
     use std::collections::HashMap;
     let mut first: HashMap<ExprKey, u8> = HashMap::new();
     let mut eliminated = 0;
@@ -67,6 +75,7 @@ pub fn apply(seg: &mut Segment) -> u64 {
                 slot.is_move = true;
                 slot.move_src = Some(loc);
                 eliminated += 1;
+                telemetry.inc("fill.cse.accept");
                 // Re-point later consumers directly at the original, so
                 // they lose no rename cycle (same rule as §4.2 moves).
                 for j in (i + 1)..seg.slots.len() {
@@ -79,6 +88,7 @@ pub fn apply(seg: &mut Segment) -> u64 {
             }
             None => {
                 first.insert(key, i as u8);
+                telemetry.inc("fill.cse.reject.no_prior_match");
             }
         }
     }

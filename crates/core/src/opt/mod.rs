@@ -20,6 +20,7 @@ pub mod verify;
 
 use crate::config::{ClusterConfig, OptConfig};
 use crate::segment::Segment;
+use tracefill_util::Registry;
 
 /// How many instructions each pass transformed in one segment (or, summed,
 /// over a whole run — this is the numerator of Table 2).
@@ -56,21 +57,33 @@ impl OptCounts {
 
 /// Runs the enabled passes over a segment.
 pub fn apply_all(seg: &mut Segment, opts: &OptConfig, clusters: &ClusterConfig) -> OptCounts {
+    apply_all_telemetry(seg, opts, clusters, &mut Registry::new())
+}
+
+/// [`apply_all`] with per-pass accept/reject-reason telemetry accumulated
+/// into `telemetry` (counter names `fill.<pass>.accept` and
+/// `fill.<pass>.reject.<reason>`; see each pass's `apply_counted`).
+pub fn apply_all_telemetry(
+    seg: &mut Segment,
+    opts: &OptConfig,
+    clusters: &ClusterConfig,
+    telemetry: &mut Registry,
+) -> OptCounts {
     let mut counts = OptCounts::default();
     if opts.moves {
-        counts.moves = moves::apply(seg);
+        counts.moves = moves::apply_counted(seg, telemetry);
     }
     if opts.cse {
-        counts.cse = cse::apply(seg);
+        counts.cse = cse::apply_counted(seg, telemetry);
     }
     if opts.reassoc {
-        counts.reassoc = reassoc::apply(seg, opts.reassoc_cross_block_only);
+        counts.reassoc = reassoc::apply_counted(seg, opts.reassoc_cross_block_only, telemetry);
     }
     if opts.scadd {
-        counts.scadd = scadd::apply(seg, opts.scadd_max_shift);
+        counts.scadd = scadd::apply_counted(seg, opts.scadd_max_shift, telemetry);
     }
     if opts.placement {
-        placement::apply(seg, clusters);
+        placement::apply_counted(seg, clusters, telemetry);
         counts.placed_segments = 1;
     }
     debug_assert_eq!(seg.check_invariants(), Ok(()));

@@ -13,11 +13,18 @@
 //! on the move's source (last paragraph of §4.2).
 
 use crate::segment::{Segment, SrcRef};
+use tracefill_util::Registry;
 
 /// Marks register moves and re-points their in-segment consumers.
 ///
 /// Returns the number of instructions marked as moves.
 pub fn apply(seg: &mut Segment) -> u64 {
+    apply_counted(seg, &mut Registry::new())
+}
+
+/// [`apply`] with accept/reject telemetry recorded into `telemetry`
+/// (`fill.moves.accept`, `fill.moves.reject.source_not_found`).
+pub fn apply_counted(seg: &mut Segment, telemetry: &mut Registry) -> u64 {
     let mut marked = 0;
     for i in 0..seg.slots.len() {
         let slot = &seg.slots[i];
@@ -41,7 +48,11 @@ pub fn apply(seg: &mut Segment) -> u64 {
             }
             match found {
                 Some(loc) => loc,
-                None => continue, // defensive; cannot happen for move idioms
+                None => {
+                    // Defensive; cannot happen for move idioms.
+                    telemetry.inc("fill.moves.reject.source_not_found");
+                    continue;
+                }
             }
         };
         // If the source location is itself a marked move, chase it so
@@ -52,6 +63,7 @@ pub fn apply(seg: &mut Segment) -> u64 {
         slot.is_move = true;
         slot.move_src = Some(loc);
         marked += 1;
+        telemetry.inc("fill.moves.accept");
 
         // Re-point later consumers of this move's output.
         for j in (i + 1)..seg.slots.len() {

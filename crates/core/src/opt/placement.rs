@@ -16,10 +16,20 @@
 
 use crate::config::ClusterConfig;
 use crate::segment::{Segment, SrcRef};
+use tracefill_util::Registry;
 
 /// Assigns issue positions (`seg.issue_pos`), steering dependency chains
 /// into single clusters.
 pub fn apply(seg: &mut Segment, clusters: &ClusterConfig) {
+    apply_counted(seg, clusters, &mut Registry::new());
+}
+
+/// [`apply`] with telemetry recorded into `telemetry`:
+/// `fill.placement.accept` (one per segment placed) and the per-slot
+/// heuristic outcome, `fill.placement.pick.dependent` (an instruction
+/// dependent on a value already in this cluster was found) versus
+/// `fill.placement.pick.fallback` (first unplaced instruction taken).
+pub fn apply_counted(seg: &mut Segment, clusters: &ClusterConfig, telemetry: &mut Registry) {
     let n = seg.slots.len();
     // Candidates in original order: instructions that occupy a real issue
     // slot (everything that is not a marked move).
@@ -44,12 +54,15 @@ pub fn apply(seg: &mut Segment, clusters: &ClusterConfig) {
         let cluster = clusters.cluster_of(pos);
         // First unplaced compute instruction whose latest producer is
         // already placed in this cluster.
-        let pick = compute
-            .iter()
-            .copied()
-            .find(|&s| {
-                !placed[s] && last_producer(s).is_some_and(|p| cluster_of_slot[p] == Some(cluster))
-            })
+        let dependent = compute.iter().copied().find(|&s| {
+            !placed[s] && last_producer(s).is_some_and(|p| cluster_of_slot[p] == Some(cluster))
+        });
+        telemetry.inc(if dependent.is_some() {
+            "fill.placement.pick.dependent"
+        } else {
+            "fill.placement.pick.fallback"
+        });
+        let pick = dependent
             // Otherwise the first unplaced instruction, preserving order.
             .or_else(|| compute.iter().copied().find(|&s| !placed[s]))
             .expect("loop bound guarantees an unplaced candidate");
@@ -66,6 +79,7 @@ pub fn apply(seg: &mut Segment, clusters: &ClusterConfig) {
         }
     }
     debug_assert_eq!(pos as usize, n);
+    telemetry.inc("fill.placement.accept");
 }
 
 /// Counts the internal dependency edges of a segment that cross clusters

@@ -21,6 +21,7 @@
 
 use crate::segment::{Segment, SrcRef};
 use tracefill_isa::Op;
+use tracefill_util::Registry;
 
 /// Whether `op` can absorb an upstream `ADDI` into its (sign-extended
 /// 16-bit) immediate through operand 0.
@@ -33,6 +34,14 @@ fn is_consumer(op: Op) -> bool {
 
 /// Applies reassociation; returns the number of instructions rewritten.
 pub fn apply(seg: &mut Segment, cross_block_only: bool) -> u64 {
+    apply_counted(seg, cross_block_only, &mut Registry::new())
+}
+
+/// [`apply`] with accept/reject telemetry recorded into `telemetry`
+/// (`fill.reassoc.accept` plus `fill.reassoc.reject.{scadd_conflict,
+/// src_not_internal, producer_not_addi, same_block, imm_overflow}`, one
+/// count per candidate consumer examined).
+pub fn apply_counted(seg: &mut Segment, cross_block_only: bool, telemetry: &mut Registry) -> u64 {
     let mut rewritten = 0;
     for j in 0..seg.slots.len() {
         if !is_consumer(seg.slots[j].op) {
@@ -42,22 +51,28 @@ pub fn apply(seg: &mut Segment, cross_block_only: bool) -> u64 {
         // source no longer carries a plain register value. (Pass order
         // makes this impossible today, but stay defensive.)
         if seg.slots[j].scadd.map(|s| s.src) == Some(0) {
+            telemetry.inc("fill.reassoc.reject.scadd_conflict");
             continue;
         }
         let Some(SrcRef::Internal(i)) = seg.slots[j].srcs[0] else {
+            telemetry.inc("fill.reassoc.reject.src_not_internal");
             continue;
         };
         let i = i as usize;
         let producer = &seg.slots[i];
         if producer.op != Op::Addi || producer.is_move {
+            telemetry.inc("fill.reassoc.reject.producer_not_addi");
             continue;
         }
         if cross_block_only && producer.block == seg.slots[j].block {
+            telemetry.inc("fill.reassoc.reject.same_block");
             continue;
         }
         let combined = producer.imm as i64 + seg.slots[j].imm as i64;
         if !(-(1 << 15)..(1 << 15)).contains(&combined) {
-            continue; // would not fit the 16-bit immediate field
+            // Would not fit the 16-bit immediate field.
+            telemetry.inc("fill.reassoc.reject.imm_overflow");
+            continue;
         }
         let new_src = producer.srcs[0].expect("ADDI always has a source");
         let consumer = &mut seg.slots[j];
@@ -65,6 +80,7 @@ pub fn apply(seg: &mut Segment, cross_block_only: bool) -> u64 {
         consumer.imm = combined as i32;
         consumer.reassociated = true;
         rewritten += 1;
+        telemetry.inc("fill.reassoc.accept");
     }
     rewritten
 }

@@ -18,6 +18,7 @@
 
 use crate::segment::{ScAdd, Segment, SrcRef};
 use tracefill_isa::Op;
+use tracefill_util::Registry;
 
 /// The operand indices of `op` that may absorb a scaled source.
 fn scalable_operands(op: Op) -> &'static [u8] {
@@ -30,6 +31,14 @@ fn scalable_operands(op: Op) -> &'static [u8] {
 
 /// Applies scaled-add creation; returns the number of consumers rewritten.
 pub fn apply(seg: &mut Segment, max_shift: u8) -> u64 {
+    apply_counted(seg, max_shift, &mut Registry::new())
+}
+
+/// [`apply`] with accept/reject telemetry recorded into `telemetry`
+/// (`fill.scadd.accept` plus `fill.scadd.reject.{src_not_internal,
+/// producer_not_sll, shift_out_of_range}`, one count per scalable operand
+/// examined).
+pub fn apply_counted(seg: &mut Segment, max_shift: u8, telemetry: &mut Registry) -> u64 {
     let mut created = 0;
     for j in 0..seg.slots.len() {
         if seg.slots[j].scadd.is_some() {
@@ -37,14 +46,17 @@ pub fn apply(seg: &mut Segment, max_shift: u8) -> u64 {
         }
         for &k in scalable_operands(seg.slots[j].op) {
             let Some(SrcRef::Internal(i)) = seg.slots[j].srcs[k as usize] else {
+                telemetry.inc("fill.scadd.reject.src_not_internal");
                 continue;
             };
             let producer = &seg.slots[i as usize];
             if producer.op != Op::Sll || producer.is_move {
+                telemetry.inc("fill.scadd.reject.producer_not_sll");
                 continue;
             }
             let shift = producer.imm;
             if shift < 1 || shift > max_shift as i32 {
+                telemetry.inc("fill.scadd.reject.shift_out_of_range");
                 continue;
             }
             let new_src = producer.srcs[0].expect("SLL always has a source");
@@ -55,6 +67,7 @@ pub fn apply(seg: &mut Segment, max_shift: u8) -> u64 {
                 src: k,
             });
             created += 1;
+            telemetry.inc("fill.scadd.accept");
             break; // only one operand may be scaled (paper §4.4)
         }
     }

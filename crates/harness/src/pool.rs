@@ -86,7 +86,7 @@ pub fn run_campaign(
 
     let queue = Mutex::new(todo);
     let cancel = AtomicBool::new(false);
-    let (tx, rx) = mpsc::channel::<RunRecord>();
+    let (tx, rx) = mpsc::channel::<Msg>();
 
     std::thread::scope(|scope| {
         for _ in 0..jobs.min(pending.max(1)) {
@@ -101,11 +101,17 @@ pub fn run_campaign(
                 let Some(desc) = queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front() else {
                     break;
                 };
+                // Heartbeat first: if the process dies mid-run, the store
+                // shows the run as started-but-unfinished, and resume will
+                // re-execute it (heartbeats never count as completed).
+                if tx.send(Msg::Started(desc.run_id.clone())).is_err() {
+                    break; // coordinator gone
+                }
                 let record = catch_unwind(AssertUnwindSafe(|| {
                     runner::execute(&desc, campaign, Some(cancel))
                 }))
                 .unwrap_or_else(|payload| panic_record(&desc, campaign, &payload));
-                if tx.send(record).is_err() {
+                if tx.send(Msg::Done(Box::new(record))).is_err() {
                     break; // coordinator gone
                 }
             });
@@ -113,17 +119,24 @@ pub fn run_campaign(
         drop(tx); // workers hold the only remaining senders
 
         // Coordinator: the single store writer.
-        for record in rx {
-            if !record.status.is_ok() {
-                failed += 1;
-            }
-            executed += 1;
-            if let Err(e) = store.append(&record) {
+        for msg in rx {
+            let result = match msg {
+                Msg::Started(run_id) => store.append_heartbeat(&run_id),
+                Msg::Done(record) => {
+                    if !record.status.is_ok() {
+                        failed += 1;
+                    }
+                    executed += 1;
+                    let result = store.append(&record);
+                    progress.tick();
+                    result
+                }
+            };
+            if let Err(e) = result {
                 store_error = Some(e);
                 cancel.store(true, Ordering::Relaxed);
                 // Keep draining so workers unblock and exit.
             }
-            progress.tick();
         }
     });
     progress.finish();
@@ -138,6 +151,15 @@ pub fn run_campaign(
         failed,
         wall_ms: start.elapsed().as_millis() as u64,
     })
+}
+
+/// Worker → coordinator messages. The record is boxed so the channel moves
+/// a pointer, not the full stats/metrics payload.
+enum Msg {
+    /// A worker pulled this run id off the queue and is executing it.
+    Started(String),
+    /// A run finished (in any status) and should be persisted.
+    Done(Box<RunRecord>),
 }
 
 /// Builds the record for a run that escaped via panic.
@@ -163,6 +185,8 @@ fn panic_record(
         window_cycles: 0,
         window_retired: 0,
         stats: tracefill_sim::Stats::default(),
+        cpi: tracefill_sim::CpiStack::default(),
+        metrics: tracefill_util::Registry::new(),
         wall_ms: 0,
     }
 }

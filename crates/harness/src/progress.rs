@@ -15,38 +15,63 @@ pub struct Progress {
     skipped: usize,
     start: Instant,
     enabled: bool,
+    /// Whether a `\r` status line is currently on screen and must be
+    /// terminated by [`finish`](Progress::finish).
+    painted: bool,
 }
 
 impl Progress {
     /// A tracker over `total` runs, of which `skipped` were already on
-    /// disk. Prints to stderr only if `enabled`.
+    /// disk. Prints to stderr only if `enabled`; when it does, the initial
+    /// line is painted immediately so a fully-resumed campaign (zero runs
+    /// to execute) still shows its resumed count.
     #[must_use]
     pub fn new(total: usize, skipped: usize, enabled: bool) -> Progress {
-        Progress {
+        let mut p = Progress {
             total,
             done: 0,
             skipped,
             start: Instant::now(),
             enabled,
-        }
+            painted: false,
+        };
+        p.paint();
+        p
     }
 
     /// Records one completed run and repaints the line.
     pub fn tick(&mut self) {
         self.done += 1;
+        self.paint();
+    }
+
+    fn paint(&mut self) {
         if self.enabled {
             let line = self.render(self.start.elapsed().as_secs_f64());
             let mut err = std::io::stderr().lock();
             let _ = write!(err, "\r{line}");
             let _ = err.flush();
+            self.painted = true;
         }
     }
 
-    /// Finishes the line (newline) if anything was printed.
+    /// Finishes the line (newline) iff one is on screen. This keys off
+    /// *painted*, not `done`: a campaign that skipped everything
+    /// (`done == 0, skipped > 0`) painted its initial line and would
+    /// otherwise leave a stale `\r` fragment for the next writer to
+    /// overwrite partially. Idempotent — a second call prints nothing.
     pub fn finish(&mut self) {
-        if self.enabled && self.done > 0 {
+        if self.enabled && self.painted {
             let _ = writeln!(std::io::stderr().lock());
+            self.painted = false;
         }
+    }
+
+    /// Whether a status line is currently on screen (painted and not yet
+    /// finished).
+    #[must_use]
+    pub fn needs_finish(&self) -> bool {
+        self.painted
     }
 
     /// Renders the status line for a given elapsed time (pure; tested).
@@ -94,5 +119,29 @@ mod tests {
     fn eta_is_unknown_before_first_completion() {
         let p = Progress::new(10, 0, false);
         assert!(p.render(0.0).contains("ETA ?"));
+    }
+
+    #[test]
+    fn finish_terminates_all_skipped_campaigns() {
+        // `done == 0, skipped > 0`: the initial paint put a `\r` line on
+        // screen, so finish must terminate it — this used to key off
+        // `done > 0` and leave the fragment behind.
+        let mut p = Progress::new(5, 5, true);
+        assert!(p.needs_finish());
+        p.finish();
+        assert!(!p.needs_finish(), "finish must clear the painted line");
+        // Idempotent: a second finish has nothing left to terminate.
+        p.finish();
+        assert!(!p.needs_finish());
+    }
+
+    #[test]
+    fn disabled_progress_never_paints() {
+        let mut p = Progress::new(5, 5, false);
+        assert!(!p.needs_finish());
+        p.tick();
+        assert!(!p.needs_finish());
+        p.finish();
+        assert!(!p.needs_finish());
     }
 }

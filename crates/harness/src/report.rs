@@ -194,9 +194,65 @@ impl CellDelta {
     }
 }
 
+/// The CPI-stack table: one column per `(opt set, fill latency)` cell,
+/// merged over the measured windows of that cell's `Ok` rows. Rows are the
+/// `base` component (useful work), the eight stall components, their sum
+/// (the cell's CPI), and the IPC reconstructed from `base` — which equals
+/// `window_retired / window_cycles` exactly, because merged stacks add
+/// slot counts, never ratios.
+#[must_use]
+pub fn cpi_table(records: &[RunRecord]) -> String {
+    let mut cells: BTreeMap<(String, u32), tracefill_sim::CpiStack> = BTreeMap::new();
+    for r in records
+        .iter()
+        .filter(|r| r.status.is_ok() && r.cpi.cycles > 0)
+    {
+        cells
+            .entry((r.opt_label.clone(), r.fill_latency))
+            .or_default()
+            .merge(&r.cpi);
+    }
+    if cells.is_empty() {
+        return "no rows carry a CPI stack (rows predate CPI recording)\n".to_string();
+    }
+    let mut s = String::new();
+    let _ = write!(s, "{:16}", "component");
+    for (opt, lat) in cells.keys() {
+        let _ = write!(s, " {:>14}", format!("{opt}@lat{lat}"));
+    }
+    s.push('\n');
+    let _ = write!(s, "{:16}", "base");
+    for c in cells.values() {
+        let _ = write!(s, " {:>14.4}", c.cpi_of(c.base));
+    }
+    s.push('\n');
+    let names: Vec<&str> = tracefill_sim::cpi::STALL_COMPONENTS.to_vec();
+    for (i, name) in names.iter().enumerate() {
+        let _ = write!(s, "{name:16}");
+        for c in cells.values() {
+            let _ = write!(s, " {:>14.4}", c.cpi_of(c.stall_slots()[i].1));
+        }
+        s.push('\n');
+    }
+    let _ = write!(s, "{:16}", "total CPI");
+    for c in cells.values() {
+        let _ = write!(s, " {:>14.4}", c.cpi_of(c.total_slots()));
+    }
+    s.push('\n');
+    let _ = write!(s, "{:16}", "IPC");
+    for c in cells.values() {
+        let _ = write!(s, " {:>14.4}", c.ipc_from_base());
+    }
+    s.push('\n');
+    s
+}
+
 /// The Table 2-shaped table: % of retired instructions each transformation
 /// touched, per benchmark, next to the paper's numbers. Uses the `all`
-/// cell at the lowest recorded latency.
+/// cell at the lowest recorded latency. Counts come from the metrics
+/// registry (`retire.*`, the single source of truth shared with the fill
+/// unit's accept counters); rows recorded before the registry existed fall
+/// back to the `Stats.retired_*` fields.
 #[must_use]
 pub fn table2_table(records: &[RunRecord]) -> String {
     let mut rows: BTreeMap<(usize, String), (f64, f64, f64, u32)> = BTreeMap::new();
@@ -212,13 +268,30 @@ pub fn table2_table(records: &[RunRecord]) -> String {
         .iter()
         .filter(|r| r.status.is_ok() && r.opt_label == "all" && r.fill_latency == min_lat)
     {
-        let ret = r.stats.retired.max(1) as f64;
+        // Registry first (shared with the fill unit's accept counters);
+        // fall back to Stats for rows that predate the registry.
+        let (ret, moves, reassoc, scadd) = if r.metrics.counter("retire.total") > 0 {
+            (
+                r.metrics.counter("retire.total"),
+                r.metrics.counter("retire.moves"),
+                r.metrics.counter("retire.reassoc"),
+                r.metrics.counter("retire.scadd"),
+            )
+        } else {
+            (
+                r.stats.retired,
+                r.stats.retired_moves,
+                r.stats.retired_reassoc,
+                r.stats.retired_scadd,
+            )
+        };
+        let ret = ret.max(1) as f64;
         let e = rows
             .entry(bench_order(&r.bench))
             .or_insert((0.0, 0.0, 0.0, 0));
-        e.0 += r.stats.retired_moves as f64 / ret * 100.0;
-        e.1 += r.stats.retired_reassoc as f64 / ret * 100.0;
-        e.2 += r.stats.retired_scadd as f64 / ret * 100.0;
+        e.0 += moves as f64 / ret * 100.0;
+        e.1 += reassoc as f64 / ret * 100.0;
+        e.2 += scadd as f64 / ret * 100.0;
         e.3 += 1;
     }
     let mut s = String::new();
@@ -321,6 +394,8 @@ mod tests {
                 retired: (ipc * 1000.0) as u64,
                 ..Stats::default()
             },
+            cpi: tracefill_sim::CpiStack::default(),
+            metrics: tracefill_util::Registry::new(),
             wall_ms: 1,
         }
     }
@@ -396,5 +471,102 @@ mod tests {
     fn empty_input_degrades_gracefully() {
         assert!(fig8_table(&[]).contains("no aggregatable"));
         assert!(table2_table(&[]).contains("no `all` runs"));
+        assert!(cpi_table(&[]).contains("no rows carry a CPI stack"));
+    }
+
+    /// Builds a row whose windowed CPI stack is slot-exact for 16-wide
+    /// commit: `base == retired`, remaining slots split across stalls.
+    fn row_with_cpi(opt: &str, cycles: u64, retired: u64) -> RunRecord {
+        let mut r = row("m88k", opt, 1, retired as f64 / cycles as f64);
+        r.run_id = format!("m88k-{opt}-{cycles}-{retired}");
+        r.window_cycles = cycles;
+        r.window_retired = retired;
+        let slots = cycles * 16 - retired;
+        r.cpi = tracefill_sim::CpiStack {
+            width: 16,
+            cycles,
+            base: retired,
+            tc_miss: slots / 2,
+            window_full: slots - slots / 2,
+            ..tracefill_sim::CpiStack::default()
+        };
+        assert!(r.cpi.check_complete());
+        r
+    }
+
+    #[test]
+    fn cpi_table_base_reproduces_window_ipc() {
+        // Two seeds per cell with different window lengths: the merged
+        // stack must reproduce sum(retired)/sum(cycles), not a mean of
+        // per-row IPCs.
+        let records = vec![
+            row_with_cpi("none", 1000, 2000),
+            row_with_cpi("none", 3000, 7500),
+            row_with_cpi("all", 1000, 2600),
+            row_with_cpi("all", 5000, 14000),
+        ];
+        let mut merged = tracefill_sim::CpiStack::default();
+        merged.merge(&records[2].cpi);
+        merged.merge(&records[3].cpi);
+        let want_ipc = (2600u64 + 14000) as f64 / (1000u64 + 5000) as f64;
+        assert!(
+            (merged.ipc_from_base() - want_ipc).abs() < 1e-9,
+            "{} vs {want_ipc}",
+            merged.ipc_from_base()
+        );
+        // Component CPIs sum to the cell CPI.
+        let total: f64 = merged.cpi_of(merged.base)
+            + merged
+                .stall_slots()
+                .iter()
+                .map(|&(_, v)| merged.cpi_of(v))
+                .sum::<f64>();
+        assert!((total - 1.0 / want_ipc).abs() < 1e-9);
+        let table = cpi_table(&records);
+        for needle in [
+            "component",
+            "all@lat1",
+            "none@lat1",
+            "base",
+            "tc_miss",
+            "total CPI",
+            "IPC",
+        ] {
+            assert!(table.contains(needle), "missing {needle} in\n{table}");
+        }
+        let ipc_line = table.lines().last().unwrap();
+        assert!(
+            ipc_line.contains(&format!("{want_ipc:.4}")),
+            "IPC row should show {want_ipc:.4}: {ipc_line}"
+        );
+    }
+
+    #[test]
+    fn cpi_table_skips_rows_without_stacks() {
+        // A legacy row (no stack) must not poison the cell.
+        let records = vec![row("m88k", "all", 1, 2.5)];
+        assert!(cpi_table(&records).contains("no rows carry a CPI stack"));
+    }
+
+    #[test]
+    fn table2_prefers_registry_over_stats() {
+        // Registry and stats disagree; the registry must win.
+        let mut r = row("m88k", "all", 1, 2.0);
+        r.stats.retired = 1000;
+        r.stats.retired_moves = 999;
+        r.metrics.add("retire.total", 1000);
+        r.metrics.add("retire.moves", 120);
+        let t2 = table2_table(&[r]);
+        assert!(t2.contains("12.0"), "{t2}");
+        assert!(!t2.contains("99.9"), "{t2}");
+    }
+
+    #[test]
+    fn table2_falls_back_to_stats_for_legacy_rows() {
+        let mut r = row("m88k", "all", 1, 2.0);
+        r.stats.retired = 1000;
+        r.stats.retired_moves = 130;
+        let t2 = table2_table(&[r]);
+        assert!(t2.contains("13.0"), "{t2}");
     }
 }

@@ -26,8 +26,8 @@ use crate::grid::RunDescriptor;
 use std::sync::atomic::AtomicBool;
 use std::time::Instant;
 use tracefill_isa::Program;
-use tracefill_sim::{RunExit, SimConfig, Simulator, Stats};
-use tracefill_util::Json;
+use tracefill_sim::{CpiStack, RunExit, SimConfig, Simulator, Stats};
+use tracefill_util::{Json, Registry};
 use tracefill_workloads::gen::{generate, PatternMix};
 
 /// How a run ended.
@@ -99,6 +99,12 @@ pub struct RunRecord {
     pub window_retired: u64,
     /// Cumulative pipeline counters at end of run.
     pub stats: Stats,
+    /// CPI-stack slot attribution over the measured window (empty for
+    /// failed runs and for rows written before the stack existed).
+    pub cpi: CpiStack,
+    /// Fill-unit and pipeline telemetry at end of run (accept/reject
+    /// counters, distributions; empty for pre-telemetry rows).
+    pub metrics: Registry,
     /// Wall-clock milliseconds the run took (timing field: excluded from
     /// determinism comparisons).
     pub wall_ms: u64,
@@ -124,6 +130,8 @@ impl RunRecord {
             .with("window_cycles", self.window_cycles)
             .with("window_retired", self.window_retired)
             .with("stats", self.stats.to_json())
+            .with("cpi", self.cpi.to_json())
+            .with("metrics", self.metrics.to_json())
             .with("wall_ms", self.wall_ms)
     }
 
@@ -179,6 +187,11 @@ impl RunRecord {
             window_cycles: u("window_cycles").unwrap_or(0),
             window_retired: u("window_retired").unwrap_or(0),
             stats: v.get("stats").map(Stats::from_json).unwrap_or_default(),
+            cpi: v.get("cpi").map(CpiStack::from_json).unwrap_or_default(),
+            metrics: v
+                .get("metrics")
+                .and_then(|m| Registry::from_json(m).ok())
+                .unwrap_or_default(),
             wall_ms: u("wall_ms").unwrap_or(0),
         })
     }
@@ -281,6 +294,8 @@ pub fn execute(desc: &RunDescriptor, campaign: &str, cancel: Option<&AtomicBool>
         window_cycles: 0,
         window_retired: 0,
         stats: Stats::default(),
+        cpi: CpiStack::default(),
+        metrics: Registry::new(),
         wall_ms: 0,
     };
 
@@ -308,11 +323,14 @@ pub fn execute(desc: &RunDescriptor, campaign: &str, cancel: Option<&AtomicBool>
     }
 
     let (c0, r0) = (sim.cycle(), sim.stats().retired);
+    let cpi0 = sim.cpi();
     let phase = advance(&mut sim, desc.budget, desc.max_cycles, deadline, cancel);
     record.window_cycles = sim.cycle() - c0;
     record.window_retired = sim.stats().retired - r0;
     record.ipc = record.window_retired as f64 / record.window_cycles.max(1) as f64;
     record.stats = sim.stats();
+    record.cpi = sim.cpi().delta_since(&cpi0);
+    record.metrics = sim.report().metrics;
     record.status = match phase {
         Phase::Done => RunStatus::Ok,
         Phase::Failed(status) => status,

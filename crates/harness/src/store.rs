@@ -69,8 +69,35 @@ impl ResultStore {
         self.file.flush()
     }
 
+    /// Appends a heartbeat row for `run_id`: the run has *started* on some
+    /// worker but has no result yet. Heartbeats share the JSONL stream
+    /// (`{"hb":1,"run_id":...,"at_ms":...}`) so a reader can tell an
+    /// in-flight run from one that was never dispatched, but they are
+    /// ignored by [`completed_ids`](ResultStore::completed_ids) (a
+    /// heartbeat must never suppress the run on resume) and rejected by
+    /// record parsing (so [`load`](ResultStore::load) never sees them).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing.
+    pub fn append_heartbeat(&mut self, run_id: &str) -> io::Result<()> {
+        let at_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut line = Json::object()
+            .with("hb", 1u32)
+            .with("run_id", run_id)
+            .with("at_ms", at_ms)
+            .dump();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()
+    }
+
     /// The set of run ids already recorded (any status). A campaign skips
-    /// these on resume.
+    /// these on resume. Heartbeat rows do not count: a run that only
+    /// *started* before a crash must be re-executed.
     ///
     /// # Errors
     ///
@@ -78,6 +105,9 @@ impl ResultStore {
     pub fn completed_ids(&self) -> io::Result<HashSet<String>> {
         let mut ids = HashSet::new();
         for row in read_rows(&self.path)? {
+            if row.get("hb").is_some() {
+                continue;
+            }
             if let Some(id) = row.get("run_id").and_then(Json::as_str) {
                 ids.insert(id.to_string());
             }
@@ -145,6 +175,8 @@ mod tests {
             window_cycles: 100,
             window_retired: 250,
             stats: Stats::default(),
+            cpi: tracefill_sim::CpiStack::default(),
+            metrics: tracefill_util::Registry::new(),
             wall_ms: 7,
         }
     }
@@ -189,6 +221,29 @@ mod tests {
             HashSet::from(["good".to_string()])
         );
         assert_eq!(store.load().unwrap().len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn heartbeats_mark_started_runs_but_never_complete_them() {
+        let path = tmp("heartbeat");
+        let mut store = ResultStore::open(&path).unwrap();
+        store.append_heartbeat("inflight").unwrap();
+        store.append(&rec("finished")).unwrap();
+        store.append_heartbeat("finished").unwrap(); // late heartbeat, harmless
+                                                     // Resume must re-run `inflight` (heartbeat only) but skip `finished`.
+        assert_eq!(
+            store.completed_ids().unwrap(),
+            HashSet::from(["finished".to_string()])
+        );
+        // Record loading never surfaces heartbeat rows.
+        let records = store.load().unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].run_id, "finished");
+        // The raw stream still carries the heartbeat for post-mortems.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"hb\":1"), "{text}");
+        assert!(text.contains("\"at_ms\""), "{text}");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -77,10 +77,20 @@ fn resume_skips_completed_ids() {
     assert_eq!(second.executed, 0);
     assert_eq!(store.load().unwrap().len(), 8, "no duplicate rows");
 
-    // Partial resume: drop half the rows and re-run — only the dropped
-    // half executes.
+    // Partial resume: drop half the *record* rows (heartbeat rows don't
+    // count — a started-but-unfinished run must re-execute) and re-run —
+    // only the dropped half executes.
     let text = std::fs::read_to_string(&path).unwrap();
-    let kept: Vec<&str> = text.lines().take(4).collect();
+    let mut records_kept = 0;
+    let kept: Vec<&str> = text
+        .lines()
+        .take_while(|l| {
+            if !l.contains("\"hb\":") {
+                records_kept += 1;
+            }
+            records_kept <= 4
+        })
+        .collect();
     std::fs::write(&path, format!("{}\n", kept.join("\n"))).unwrap();
     let mut store = ResultStore::open(&path).unwrap();
     let third = run_campaign(&spec, &mut store, 2, false).unwrap();

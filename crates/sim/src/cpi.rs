@@ -1,0 +1,361 @@
+//! CPI-stack stall attribution: per-cycle commit-slot accounting.
+//!
+//! Every simulated cycle offers `fetch_width` commit slots. Slots filled
+//! by retirements count toward [`CpiStack::base`]; the remaining slots of
+//! the cycle are charged to exactly **one** stall cause, chosen by a
+//! priority cascade over machine state at the end of the cycle. The stack
+//! is therefore *conservative and complete*:
+//!
+//! ```text
+//! base + icache_miss + tc_miss + fetch_redirect + window_full
+//!      + fu_contention + bypass_delay + branch_recovery + serialize
+//!      == cycles × width
+//! ```
+//!
+//! holds as an exact integer identity (asserted by
+//! [`CpiStack::check_complete`] and a sim integration test), and because
+//! `base` slots are precisely retirements, `base / cycles` reproduces IPC
+//! bit-for-bit. This is what lets every IPC delta in the paper's Figure 8
+//! decompose into named cycles instead of "IPC moved".
+//!
+//! The attribution cascade (highest priority first):
+//!
+//! 1. **branch_recovery** — a misprediction recovery squashed the window
+//!    this cycle (flag raised in `recover.rs`);
+//! 2. **serialize** — a serializing system op is in flight and the front
+//!    end is drained behind it;
+//! 3. window empty (nothing to retire):
+//!    * **icache_miss** — fetch is stalled on an instruction-cache refill
+//!      (flag raised in `frontend.rs`);
+//!    * **tc_miss** — the last fetch came from the supporting instruction
+//!      cache, i.e. the trace cache missed and delivery is block-limited;
+//!    * **fetch_redirect** — otherwise: the pipeline is refilling behind a
+//!      redirect (or cold start) with trace-cache supply;
+//! 4. window occupied but the head could not retire:
+//!    * **bypass_delay** — the head uop is executing and its last operand
+//!      paid a cross-cluster bypass penalty (recorded in `exec.rs`);
+//!    * **window_full** — issue was blocked by backpressure this cycle
+//!      (window capacity, RS space, checkpoint or physical-register
+//!      limits; flags raised in `issue.rs`);
+//!    * **fu_contention** — otherwise: the head is waiting on a functional
+//!      unit, operand or memory latency.
+
+use tracefill_util::Json;
+
+/// Names of the stack's stall components, in canonical report order
+/// (`base` excluded).
+pub const STALL_COMPONENTS: [&str; 8] = [
+    "icache_miss",
+    "tc_miss",
+    "fetch_redirect",
+    "window_full",
+    "fu_contention",
+    "bypass_delay",
+    "branch_recovery",
+    "serialize",
+];
+
+/// Commit-slot counts accumulated over a run (all in units of *slots*,
+/// where one cycle offers `width` slots).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpiStack {
+    /// Commit slots per cycle (the machine's fetch/retire width).
+    pub width: u64,
+    /// Cycles attributed (matches `Stats::cycles`).
+    pub cycles: u64,
+    /// Slots filled by retirements (`== Stats::retired`).
+    pub base: u64,
+    /// Slots lost to instruction-cache refill stalls.
+    pub icache_miss: u64,
+    /// Slots lost to trace-cache misses (block-limited icache supply).
+    pub tc_miss: u64,
+    /// Slots lost refilling the pipe behind a redirect or cold start.
+    pub fetch_redirect: u64,
+    /// Slots lost to issue backpressure (window/RS/checkpoint/phys-reg).
+    pub window_full: u64,
+    /// Slots lost waiting on functional units, operands or memory.
+    pub fu_contention: u64,
+    /// Slots lost behind a head uop delayed by the cross-cluster bypass.
+    pub bypass_delay: u64,
+    /// Slots lost to misprediction recovery flushes.
+    pub branch_recovery: u64,
+    /// Slots lost while serialized behind a system op.
+    pub serialize: u64,
+}
+
+/// One stall cause, as picked by the attribution cascade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// Instruction-cache refill stall.
+    IcacheMiss,
+    /// Trace-cache miss (icache-supplied fetch).
+    TcMiss,
+    /// Pipeline refill behind a redirect / cold start.
+    FetchRedirect,
+    /// Issue backpressure.
+    WindowFull,
+    /// Functional-unit / operand / memory latency.
+    FuContention,
+    /// Cross-cluster bypass penalty at the window head.
+    BypassDelay,
+    /// Misprediction recovery.
+    BranchRecovery,
+    /// Serialized behind a system op.
+    Serialize,
+}
+
+impl CpiStack {
+    /// Creates an empty stack for a machine with `width` commit slots per
+    /// cycle.
+    #[must_use]
+    pub fn new(width: usize) -> CpiStack {
+        CpiStack {
+            width: width as u64,
+            ..CpiStack::default()
+        }
+    }
+
+    /// Accounts one cycle: `retired` slots go to `base`, the remaining
+    /// `width - retired` slots are charged to `cause`.
+    pub fn account_cycle(&mut self, retired: u64, cause: StallCause) {
+        debug_assert!(retired <= self.width, "retired more than width");
+        self.cycles += 1;
+        self.base += retired;
+        let lost = self.width - retired.min(self.width);
+        if lost == 0 {
+            return;
+        }
+        *self.slot_mut(cause) += lost;
+    }
+
+    fn slot_mut(&mut self, cause: StallCause) -> &mut u64 {
+        match cause {
+            StallCause::IcacheMiss => &mut self.icache_miss,
+            StallCause::TcMiss => &mut self.tc_miss,
+            StallCause::FetchRedirect => &mut self.fetch_redirect,
+            StallCause::WindowFull => &mut self.window_full,
+            StallCause::FuContention => &mut self.fu_contention,
+            StallCause::BypassDelay => &mut self.bypass_delay,
+            StallCause::BranchRecovery => &mut self.branch_recovery,
+            StallCause::Serialize => &mut self.serialize,
+        }
+    }
+
+    /// Stall components as `(name, slots)` pairs in canonical order
+    /// (`base` excluded).
+    #[must_use]
+    pub fn stall_slots(&self) -> [(&'static str, u64); 8] {
+        [
+            ("icache_miss", self.icache_miss),
+            ("tc_miss", self.tc_miss),
+            ("fetch_redirect", self.fetch_redirect),
+            ("window_full", self.window_full),
+            ("fu_contention", self.fu_contention),
+            ("bypass_delay", self.bypass_delay),
+            ("branch_recovery", self.branch_recovery),
+            ("serialize", self.serialize),
+        ]
+    }
+
+    /// Total accounted slots (`base` plus every stall component).
+    #[must_use]
+    pub fn total_slots(&self) -> u64 {
+        self.base + self.stall_slots().iter().map(|(_, v)| v).sum::<u64>()
+    }
+
+    /// Whether the stack is conservative and complete:
+    /// `total_slots() == cycles × width`.
+    #[must_use]
+    pub fn check_complete(&self) -> bool {
+        self.total_slots() == self.cycles * self.width
+    }
+
+    /// IPC reconstructed from the stack's `base` component. Equals
+    /// `Stats::ipc` exactly (both are `retired / cycles`).
+    #[must_use]
+    pub fn ipc_from_base(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.base as f64 / self.cycles as f64
+        }
+    }
+
+    /// The CPI contribution of one component's slot count:
+    /// `slots / (width × retired)`. Because the slot counts sum to
+    /// `cycles × width`, the contributions of `base` and all stall
+    /// components sum exactly to the run's CPI (`cycles / retired`).
+    #[must_use]
+    pub fn cpi_of(&self, slots: u64) -> f64 {
+        if self.base == 0 || self.width == 0 {
+            0.0
+        } else {
+            slots as f64 / (self.width as f64 * self.base as f64)
+        }
+    }
+
+    /// Field-wise difference (`self - earlier`), for measuring a window of
+    /// a longer run. Both operands must share `width`.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &CpiStack) -> CpiStack {
+        debug_assert_eq!(self.width, earlier.width);
+        CpiStack {
+            width: self.width,
+            cycles: self.cycles - earlier.cycles,
+            base: self.base - earlier.base,
+            icache_miss: self.icache_miss - earlier.icache_miss,
+            tc_miss: self.tc_miss - earlier.tc_miss,
+            fetch_redirect: self.fetch_redirect - earlier.fetch_redirect,
+            window_full: self.window_full - earlier.window_full,
+            fu_contention: self.fu_contention - earlier.fu_contention,
+            bypass_delay: self.bypass_delay - earlier.bypass_delay,
+            branch_recovery: self.branch_recovery - earlier.branch_recovery,
+            serialize: self.serialize - earlier.serialize,
+        }
+    }
+
+    /// Field-wise sum, for aggregating across runs of the same machine
+    /// width.
+    pub fn merge(&mut self, other: &CpiStack) {
+        debug_assert!(self.width == 0 || other.width == 0 || self.width == other.width);
+        if self.width == 0 {
+            self.width = other.width;
+        }
+        self.cycles += other.cycles;
+        self.base += other.base;
+        self.icache_miss += other.icache_miss;
+        self.tc_miss += other.tc_miss;
+        self.fetch_redirect += other.fetch_redirect;
+        self.window_full += other.window_full;
+        self.fu_contention += other.fu_contention;
+        self.bypass_delay += other.bypass_delay;
+        self.branch_recovery += other.branch_recovery;
+        self.serialize += other.serialize;
+    }
+
+    /// All counters as a flat JSON object (deterministic member order).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object()
+            .with("width", self.width)
+            .with("cycles", self.cycles)
+            .with("base", self.base);
+        for (name, slots) in self.stall_slots() {
+            obj = obj.with(name, slots);
+        }
+        obj
+    }
+
+    /// Reconstructs a stack from [`to_json`](Self::to_json) output.
+    /// Unknown members are ignored; missing members default to zero.
+    #[must_use]
+    pub fn from_json(v: &Json) -> CpiStack {
+        let f = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
+        CpiStack {
+            width: f("width"),
+            cycles: f("cycles"),
+            base: f("base"),
+            icache_miss: f("icache_miss"),
+            tc_miss: f("tc_miss"),
+            fetch_redirect: f("fetch_redirect"),
+            window_full: f("window_full"),
+            fu_contention: f("fu_contention"),
+            bypass_delay: f("bypass_delay"),
+            branch_recovery: f("branch_recovery"),
+            serialize: f("serialize"),
+        }
+    }
+}
+
+/// Per-cycle attribution hints raised by the pipeline stages and consumed
+/// (then cleared) at the end of each [`Simulator::step_cycle`].
+///
+/// [`Simulator::step_cycle`]: crate::Simulator::step_cycle
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CpiFlags {
+    /// `retire.rs`: instructions retired this cycle (the cycle's `base`
+    /// commit slots).
+    pub retired: u64,
+    /// `recover.rs`: a misprediction recovery flushed the window.
+    pub recovered: bool,
+    /// `frontend.rs`: fetch stalled on an instruction-cache refill.
+    pub icache_stall: bool,
+    /// `issue.rs`: dispatch stopped on structural backpressure
+    /// (window capacity, RS space, checkpoint or phys-reg limits).
+    pub issue_backpressure: bool,
+    /// `exec.rs`: the window-head uop is executing with a cross-cluster
+    /// bypass penalty on its critical operand.
+    pub head_bypass_delayed: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_is_conservative_and_complete() {
+        let mut s = CpiStack::new(16);
+        s.account_cycle(16, StallCause::FuContention); // full cycle: no loss
+        s.account_cycle(5, StallCause::TcMiss);
+        s.account_cycle(0, StallCause::BranchRecovery);
+        assert_eq!(s.cycles, 3);
+        assert_eq!(s.base, 21);
+        assert_eq!(s.tc_miss, 11);
+        assert_eq!(s.branch_recovery, 16);
+        assert_eq!(s.fu_contention, 0);
+        assert!(s.check_complete());
+        assert_eq!(s.total_slots(), 48);
+    }
+
+    #[test]
+    fn ipc_from_base_is_exact() {
+        let mut s = CpiStack::new(16);
+        for _ in 0..7 {
+            s.account_cycle(3, StallCause::WindowFull);
+        }
+        assert_eq!(s.ipc_from_base(), 21.0 / 7.0);
+    }
+
+    #[test]
+    fn delta_and_merge_are_fieldwise() {
+        let mut a = CpiStack::new(16);
+        a.account_cycle(4, StallCause::IcacheMiss);
+        a.account_cycle(2, StallCause::Serialize);
+        let snapshot = a;
+        a.account_cycle(1, StallCause::IcacheMiss);
+        let window = a.delta_since(&snapshot);
+        assert_eq!(window.cycles, 1);
+        assert_eq!(window.base, 1);
+        assert_eq!(window.icache_miss, 15);
+        assert!(window.check_complete());
+
+        let mut m = CpiStack::default();
+        m.merge(&snapshot);
+        m.merge(&window);
+        assert_eq!(m, a);
+        assert!(m.check_complete());
+    }
+
+    #[test]
+    fn json_roundtrip_ignores_unknown_members() {
+        let mut s = CpiStack::new(16);
+        s.account_cycle(9, StallCause::BypassDelay);
+        let back = CpiStack::from_json(&s.to_json());
+        assert_eq!(back, s);
+        let sparse = Json::object()
+            .with("width", 16u64)
+            .with("cycles", 1u64)
+            .with("base", 16u64)
+            .with("future_component", 3u64);
+        let got = CpiStack::from_json(&sparse);
+        assert_eq!(got.base, 16);
+        assert_eq!(got.icache_miss, 0);
+    }
+
+    #[test]
+    fn component_order_is_canonical() {
+        let s = CpiStack::new(16);
+        let names: Vec<&str> = s.stall_slots().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, STALL_COMPONENTS);
+    }
+}

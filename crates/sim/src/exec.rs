@@ -158,6 +158,18 @@ impl Simulator {
                 self.rs[fu].retain(|&x| x != id);
             }
         }
+
+        // CPI attribution: if the window head is executing and its
+        // critical operand paid the cross-cluster bypass penalty, lost
+        // commit slots this cycle are charged to `bypass_delay` rather
+        // than generic FU contention.
+        if let Some(&head) = self.window.front() {
+            if let Some(u) = self.uops.get(&head) {
+                if u.bypass_delayed && matches!(u.state, UopState::Executing { .. }) {
+                    self.cpi_flags.head_bypass_delayed = true;
+                }
+            }
+        }
     }
 
     /// Whether all operands are available at the uop's cluster this cycle.

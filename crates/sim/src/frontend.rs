@@ -24,6 +24,7 @@ impl Simulator {
         }
         if self.cycle < self.fetch_stall_until {
             self.stats.icache_stall_cycles += 1;
+            self.cpi_flags.icache_stall = true;
             return;
         }
         let pc = self.fetch_pc;
@@ -45,19 +46,29 @@ impl Simulator {
                     // Miss: stall; the refill is resident on retry.
                     self.fetch_stall_until = self.cycle + latency as u64;
                     self.stats.icache_stall_cycles += 1;
+                    self.cpi_flags.icache_stall = true;
                     return;
                 }
                 self.fetch_from_icache(pc, &preds)
             }
         };
         if let Some(bundle) = bundle {
+            let tc = bundle.slots.first().map(|s| s.from_tc).unwrap_or(false);
+            // CPI attribution: remember the supply path so empty-window
+            // cycles split into trace-cache misses vs. redirect refills.
+            self.last_fetch_tc = tc;
+            self.metrics.observe(
+                "sim.fetch_bundle",
+                crate::machine::FETCH_BUNDLE_BOUNDS,
+                bundle.slots.len() as u64,
+            );
             if self.trace.enabled() {
                 self.trace.push(
                     self.cycle,
                     crate::tracelog::Event::Fetch {
                         pc,
                         count: bundle.slots.len() as u8,
-                        tc: bundle.slots.first().map(|s| s.from_tc).unwrap_or(false),
+                        tc,
                     },
                 );
             }

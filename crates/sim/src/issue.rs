@@ -49,6 +49,9 @@ impl Simulator {
                 return;
             }
             if self.window.len() >= window_cap {
+                // CPI attribution: dispatch blocked on structural
+                // backpressure (window/RS/checkpoint/phys-reg limits).
+                self.cpi_flags.issue_backpressure = true;
                 return;
             }
             let slot = p.bundle.slots[p.next].clone();
@@ -58,6 +61,7 @@ impl Simulator {
                     return;
                 }
                 if self.checkpoints.len() >= self.cfg.max_checkpoints {
+                    self.cpi_flags.issue_backpressure = true;
                     return;
                 }
             }
@@ -65,9 +69,11 @@ impl Simulator {
                 && !matches!(slot.op.kind(), OpKind::System)
                 && !matches!(slot.op, Op::J | Op::Jal);
             if needs_rs && self.rs[slot.fu as usize].len() >= self.cfg.rs_per_fu {
+                self.cpi_flags.issue_backpressure = true;
                 return;
             }
             if !slot.is_move && slot.dest.is_some() && self.phys.free_count() == 0 {
+                self.cpi_flags.issue_backpressure = true;
                 return;
             }
 

@@ -63,6 +63,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod cpi;
 mod exec;
 mod frontend;
 mod issue;
@@ -75,5 +76,6 @@ pub mod tracelog;
 pub mod uop;
 
 pub use config::SimConfig;
+pub use cpi::CpiStack;
 pub use machine::{RunExit, SimError, Simulator};
 pub use stats::{Report, Stats};

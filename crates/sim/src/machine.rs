@@ -17,6 +17,7 @@
 //!    instruction cache.
 
 use crate::config::SimConfig;
+use crate::cpi::{CpiFlags, CpiStack, StallCause};
 use crate::physreg::{PhysFile, PhysReg};
 use crate::stats::{Report, Stats};
 use crate::tracelog::TraceLog;
@@ -227,7 +228,22 @@ pub struct Simulator {
     pub(crate) stats: Stats,
     pub(crate) last_retire_cycle: u64,
     pub(crate) trace: TraceLog,
+
+    // Observability.
+    pub(crate) cpi: CpiStack,
+    pub(crate) cpi_flags: CpiFlags,
+    /// Whether the most recent fetch bundle came from the trace cache
+    /// (false at cold start, when supply is icache by definition).
+    pub(crate) last_fetch_tc: bool,
+    pub(crate) metrics: tracefill_util::Registry,
 }
+
+/// Bucket bounds for the per-cycle window-occupancy histogram.
+pub(crate) const WINDOW_OCC_BOUNDS: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+
+/// Bucket bounds for the fetch-bundle-size histogram (instructions per
+/// delivered bundle, up to the 16-wide fetch path).
+pub(crate) const FETCH_BUNDLE_BOUNDS: &[u64] = &[1, 2, 4, 6, 8, 10, 12, 14, 16];
 
 impl Simulator {
     /// Creates a simulator with the program loaded and the machine reset.
@@ -281,6 +297,10 @@ impl Simulator {
             stats: Stats::default(),
             last_retire_cycle: 0,
             trace: TraceLog::new(cfg.trace_depth),
+            cpi: CpiStack::new(cfg.fetch_width),
+            cpi_flags: CpiFlags::default(),
+            last_fetch_tc: false,
+            metrics: tracefill_util::Registry::new(),
             cfg,
         }
     }
@@ -307,14 +327,36 @@ impl Simulator {
         &self.trace
     }
 
-    /// Assembles a full report (pipeline + structure statistics).
+    /// The CPI stack accumulated so far (commit-slot stall attribution).
+    pub fn cpi(&self) -> CpiStack {
+        self.cpi
+    }
+
+    /// Assembles a full report (pipeline + structure statistics, the CPI
+    /// stack and the metrics registry).
+    ///
+    /// The registry combines the simulator's own distributions (window
+    /// occupancy, fetch bundle size), the fill unit's per-optimization
+    /// accept/reject telemetry, and — mirrored mechanically from
+    /// [`Stats`] so the two can never drift — the retire-time
+    /// transformation counters the Table 2 path consumes
+    /// (`retire.moves` / `retire.reassoc` / `retire.scadd`).
     pub fn report(&self) -> Report {
+        let mut metrics = self.metrics.clone();
+        metrics.merge(self.fill.telemetry());
+        metrics.add("retire.moves", self.stats.retired_moves);
+        metrics.add("retire.reassoc", self.stats.retired_reassoc);
+        metrics.add("retire.scadd", self.stats.retired_scadd);
+        metrics.add("retire.from_tc", self.stats.retired_from_tc);
+        metrics.add("retire.total", self.stats.retired);
         Report {
             stats: self.stats,
             tcache: self.tcache.stats(),
             caches: self.hier.stats(),
             fill_segments: self.fill.stats().segments,
             mean_segment_len: self.fill.stats().mean_segment_len(),
+            cpi: self.cpi,
+            metrics,
         }
     }
 
@@ -432,13 +474,19 @@ impl Simulator {
         self.cycle += 1;
         self.phase_complete();
         self.phase_retire()?;
+        if self.halted.is_none() {
+            self.phase_execute();
+            self.phase_issue();
+            self.phase_fetch();
+        }
+        // Every executed cycle is counted and CPI-attributed — including
+        // the halting one, whose retirements must land in `base` for the
+        // stack to stay slot-exact against `cycles × width`.
+        self.stats.cycles = self.cycle;
+        self.account_cpi();
         if self.halted.is_some() {
             return Ok(());
         }
-        self.phase_execute();
-        self.phase_issue();
-        self.phase_fetch();
-        self.stats.cycles = self.cycle;
 
         // Watchdog: a healthy machine retires something every few thousand
         // cycles (the worst case is a serialized miss chain).
@@ -449,6 +497,40 @@ impl Simulator {
             });
         }
         Ok(())
+    }
+
+    /// End-of-cycle CPI attribution: `retired` slots go to `base`, the
+    /// rest of the cycle's commit slots are charged to one stall cause
+    /// picked by the priority cascade documented in [`crate::cpi`]. Also
+    /// records the per-cycle window-occupancy distribution.
+    fn account_cpi(&mut self) {
+        let flags = std::mem::take(&mut self.cpi_flags);
+        let cause = if flags.recovered {
+            StallCause::BranchRecovery
+        } else if self.serialize.is_some() {
+            StallCause::Serialize
+        } else if self.window.is_empty() {
+            if flags.icache_stall || self.cycle < self.fetch_stall_until {
+                StallCause::IcacheMiss
+            } else if !self.last_fetch_tc {
+                StallCause::TcMiss
+            } else {
+                StallCause::FetchRedirect
+            }
+        } else if flags.head_bypass_delayed {
+            StallCause::BypassDelay
+        } else if flags.issue_backpressure {
+            StallCause::WindowFull
+        } else {
+            StallCause::FuContention
+        };
+        self.cpi
+            .account_cycle(flags.retired.min(self.cpi.width), cause);
+        self.metrics.observe(
+            "sim.window_occupancy",
+            WINDOW_OCC_BOUNDS,
+            self.window.len() as u64,
+        );
     }
 
     // ---- shared helpers used by the stage modules ----

@@ -9,6 +9,9 @@ impl Simulator {
     /// Full misprediction recovery at `branch_id`: squash everything
     /// younger, restore the branch's checkpoint, and redirect fetch.
     pub(crate) fn recover_at(&mut self, branch_id: UopId, redirect: u32) {
+        // CPI attribution: this cycle's lost commit slots are a
+        // misprediction-recovery penalty.
+        self.cpi_flags.recovered = true;
         self.squash_younger(branch_id);
 
         // Restore rename/predictor state from the checkpoint, then re-apply

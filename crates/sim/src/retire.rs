@@ -72,6 +72,7 @@ impl Simulator {
 
         // Stats.
         self.stats.retired += 1;
+        self.cpi_flags.retired += 1; // this cycle's CPI-stack `base` slots
         self.stats.retired_moves += u.is_move as u64;
         self.stats.retired_reassoc += u.reassociated as u64;
         self.stats.retired_scadd += u.scadd.is_some() as u64;
@@ -216,6 +217,7 @@ impl Simulator {
         }
 
         self.stats.retired += 1;
+        self.cpi_flags.retired += 1; // this cycle's CPI-stack `base` slots
         self.stats.retired_from_tc += from_tc as u64;
         self.fill.retire(
             FillInput {

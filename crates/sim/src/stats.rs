@@ -1,8 +1,9 @@
 //! Simulation statistics — everything the paper's tables and figures need.
 
+use crate::cpi::CpiStack;
 use tracefill_core::tcache::TraceCacheStats;
 use tracefill_uarch::cache::CacheStats;
-use tracefill_util::Json;
+use tracefill_util::{Json, Registry};
 
 /// Counters accumulated over a simulation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -152,7 +153,8 @@ impl Stats {
     }
 }
 
-/// A full report: pipeline counters plus the underlying structures' stats.
+/// A full report: pipeline counters plus the underlying structures' stats,
+/// the CPI stack and the metrics registry.
 #[derive(Debug, Clone)]
 pub struct Report {
     /// Pipeline counters.
@@ -165,6 +167,12 @@ pub struct Report {
     pub fill_segments: u64,
     /// Mean finalized segment length.
     pub mean_segment_len: f64,
+    /// Commit-slot stall attribution (see [`crate::cpi`]).
+    pub cpi: CpiStack,
+    /// Counters/gauges/histograms: fill-unit opt accept/reject telemetry,
+    /// segment-length and window-occupancy distributions, and the mirrored
+    /// retire-time transformation counts the Table 2 path consumes.
+    pub metrics: Registry,
 }
 
 impl Report {
@@ -192,6 +200,52 @@ impl Report {
             )
             .with("fill_segments", self.fill_segments)
             .with("mean_segment_len", self.mean_segment_len)
+            .with("cpi", self.cpi.to_json())
+            .with("metrics", self.metrics.to_json())
+    }
+
+    /// Rebuilds a report from [`to_json`](Self::to_json) output, so stored
+    /// harness rows can be re-rendered without re-simulating. Unknown
+    /// members are ignored; missing members default to zero/empty (the
+    /// round-trip partner of `to_json`).
+    #[must_use]
+    pub fn from_json(v: &Json) -> Report {
+        let u = |node: Option<&Json>, k: &str| {
+            node.and_then(|n| n.get(k))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
+        let cache = |node: Option<&Json>| CacheStats {
+            hits: u(node, "hits"),
+            misses: u(node, "misses"),
+        };
+        let tc = v.get("tcache");
+        let caches = v.get("caches");
+        Report {
+            stats: v.get("stats").map(Stats::from_json).unwrap_or_default(),
+            tcache: TraceCacheStats {
+                hits: u(tc, "hits"),
+                misses: u(tc, "misses"),
+                full_path_hits: u(tc, "full_path_hits"),
+                fills: u(tc, "fills"),
+                refreshes: u(tc, "refreshes"),
+            },
+            caches: (
+                cache(caches.and_then(|c| c.get("l1i"))),
+                cache(caches.and_then(|c| c.get("l1d"))),
+                cache(caches.and_then(|c| c.get("l2"))),
+            ),
+            fill_segments: v.get("fill_segments").and_then(Json::as_u64).unwrap_or(0),
+            mean_segment_len: v
+                .get("mean_segment_len")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            cpi: v.get("cpi").map(CpiStack::from_json).unwrap_or_default(),
+            metrics: v
+                .get("metrics")
+                .and_then(|m| Registry::from_json(m).ok())
+                .unwrap_or_default(),
+        }
     }
 }
 
@@ -225,5 +279,52 @@ mod tests {
         assert_eq!(s.ipc(), 0.0);
         assert_eq!(s.transformed_fraction(), 0.0);
         assert_eq!(s.bypass_delay_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stats_json_roundtrips() {
+        let s = Stats {
+            cycles: 7,
+            retired: 42,
+            retired_moves: 3,
+            branch_mispredicts: 1,
+            serialize_stall_cycles: 2,
+            ..Stats::default()
+        };
+        let back = Stats::from_json(&s.to_json());
+        assert_eq!(back, s);
+        // Byte-identical re-serialization (deterministic member order).
+        assert_eq!(back.to_json().dump(), s.to_json().dump());
+    }
+
+    #[test]
+    fn stats_from_json_tolerates_unknown_and_missing_members() {
+        // A row written by a *future* version: extra members must be
+        // ignored, and members this version knows but the row lacks must
+        // default to zero rather than poisoning the parse.
+        let text = r#"{
+            "cycles": 10,
+            "retired": 55,
+            "a_counter_from_the_future": 999,
+            "nested_future": {"x": 1},
+            "retired_moves": 4
+        }"#;
+        let s = Stats::from_json(&Json::parse(text).unwrap());
+        assert_eq!(s.cycles, 10);
+        assert_eq!(s.retired, 55);
+        assert_eq!(s.retired_moves, 4);
+        // Everything absent from the row is zero.
+        assert_eq!(s.retired_reassoc, 0);
+        assert_eq!(s.branches, 0);
+        assert_eq!(s.serialize_stall_cycles, 0);
+        // Degenerate inputs parse to all-zero stats, not a panic.
+        assert_eq!(
+            Stats::from_json(&Json::parse("{}").unwrap()),
+            Stats::default()
+        );
+        assert_eq!(
+            Stats::from_json(&Json::parse("3").unwrap()),
+            Stats::default()
+        );
     }
 }

@@ -14,6 +14,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use tracefill_util::Json;
 
 /// What happened to a uop (or to the machine) at one cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +73,52 @@ pub enum Event {
         /// Uops promoted into the window.
         count: u32,
     },
+}
+
+impl Event {
+    /// The event's kind tag, as used in the machine-readable exports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Fetch { .. } => "fetch",
+            Event::Issue { .. } => "issue",
+            Event::Execute { .. } => "execute",
+            Event::Complete { .. } => "complete",
+            Event::Retire { .. } => "retire",
+            Event::Recover { .. } => "recover",
+            Event::Activate { .. } => "activate",
+        }
+    }
+
+    /// The event's payload fields as a flat JSON object (no kind/cycle —
+    /// the exporters add those).
+    #[must_use]
+    pub fn fields_json(&self) -> Json {
+        match *self {
+            Event::Fetch { pc, count, tc } => Json::object()
+                .with("pc", pc)
+                .with("count", count as u32)
+                .with("tc", tc),
+            Event::Issue {
+                uop,
+                pc,
+                fu,
+                inactive,
+            } => Json::object()
+                .with("uop", uop)
+                .with("pc", pc)
+                .with("fu", fu as u32)
+                .with("inactive", inactive),
+            Event::Execute { uop, done } => Json::object().with("uop", uop).with("done", done),
+            Event::Complete { uop } => Json::object().with("uop", uop),
+            Event::Retire { uop, pc } => Json::object().with("uop", uop).with("pc", pc),
+            Event::Recover { anchor, redirect } => Json::object()
+                .with("anchor", anchor)
+                .with("redirect", redirect),
+            Event::Activate { anchor, count } => {
+                Json::object().with("anchor", anchor).with("count", count)
+            }
+        }
+    }
 }
 
 impl fmt::Display for Event {
@@ -163,6 +210,77 @@ impl TraceLog {
         }
         s
     }
+
+    /// Renders the retained events as JSON Lines: one object per event,
+    /// `{"cycle": N, "kind": "...", ...payload}`, oldest first. Every line
+    /// parses with [`Json::parse`] and the output is deterministic for
+    /// identical runs.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (cycle, e) in self.events() {
+            let mut obj = Json::object().with("cycle", cycle).with("kind", e.kind());
+            if let Some(fields) = e.fields_json().as_obj() {
+                for (k, v) in fields {
+                    obj = obj.with(k.as_str(), v.clone());
+                }
+            }
+            let _ = writeln!(s, "{}", obj.dump());
+        }
+        s
+    }
+
+    /// Renders the retained events in the Chrome `trace_event` JSON format
+    /// (the object form, `{"traceEvents": [...]}`), loadable by
+    /// `chrome://tracing` and Perfetto.
+    ///
+    /// One simulated cycle maps to one microsecond of trace time.
+    /// [`Event::Execute`] becomes a complete-duration event (`ph: "X"`,
+    /// `dur` = execution latency); every other event becomes a
+    /// thread-scoped instant (`ph: "i"`). Per-uop events are spread over
+    /// 16 lanes (`tid` = `uop % 16 + 1`, mirroring the machine's issue
+    /// width); machine-level events (fetch/recover/activate) sit on
+    /// `tid` 0.
+    #[must_use]
+    pub fn to_chrome_trace(&self) -> Json {
+        let mut events = Vec::new();
+        for (cycle, e) in self.events() {
+            let tid: u64 = match e {
+                Event::Fetch { .. } | Event::Recover { .. } | Event::Activate { .. } => 0,
+                Event::Issue { uop, .. }
+                | Event::Execute { uop, .. }
+                | Event::Complete { uop }
+                | Event::Retire { uop, .. } => uop % 16 + 1,
+            };
+            let name = match e {
+                Event::Fetch { pc, .. } => format!("fetch {pc:#010x}"),
+                Event::Issue { uop, .. } => format!("issue u{uop}"),
+                Event::Execute { uop, .. } => format!("exec u{uop}"),
+                Event::Complete { uop } => format!("complete u{uop}"),
+                Event::Retire { uop, .. } => format!("retire u{uop}"),
+                Event::Recover { anchor, .. } => format!("recover @u{anchor}"),
+                Event::Activate { anchor, .. } => format!("activate @u{anchor}"),
+            };
+            let mut obj = Json::object()
+                .with("name", name)
+                .with("cat", e.kind())
+                .with("ts", cycle)
+                .with("pid", 0u64)
+                .with("tid", tid);
+            obj = match e {
+                Event::Execute { done, .. } => obj
+                    .with("ph", "X")
+                    .with("dur", done.saturating_sub(cycle).max(1)),
+                _ => obj.with("ph", "i").with("s", "t"),
+            };
+            obj = obj.with("args", e.fields_json());
+            events.push(obj);
+        }
+        Json::object()
+            .with("traceEvents", Json::Arr(events))
+            .with("displayTimeUnit", "ms")
+    }
 }
 
 #[cfg(test)]
@@ -219,5 +337,91 @@ mod tests {
         assert_eq!(text.lines().count(), 3);
         assert!(text.contains("tcache"));
         assert!(text.contains("recover @u3"));
+    }
+
+    fn sample_log() -> TraceLog {
+        let mut log = TraceLog::new(16);
+        log.push(
+            5,
+            Event::Fetch {
+                pc: 0x40_0000,
+                count: 16,
+                tc: true,
+            },
+        );
+        log.push(
+            6,
+            Event::Issue {
+                uop: 3,
+                pc: 0x40_0000,
+                fu: 2,
+                inactive: false,
+            },
+        );
+        log.push(7, Event::Execute { uop: 3, done: 9 });
+        log.push(9, Event::Complete { uop: 3 });
+        log.push(
+            10,
+            Event::Retire {
+                uop: 3,
+                pc: 0x40_0000,
+            },
+        );
+        log.push(
+            11,
+            Event::Recover {
+                anchor: 3,
+                redirect: 0x40_0040,
+            },
+        );
+        log
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_carry_cycle_and_kind() {
+        let log = sample_log();
+        let text = log.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), log.len());
+        for line in &lines {
+            let v = Json::parse(line).expect("every JSONL line parses");
+            assert!(v.get("cycle").and_then(Json::as_u64).is_some());
+            assert!(v.get("kind").and_then(Json::as_str).is_some());
+        }
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("kind").and_then(Json::as_str), Some("fetch"));
+        assert_eq!(first.get("tc").and_then(Json::as_bool), Some(true));
+        // Deterministic across renders.
+        assert_eq!(text, log.to_jsonl());
+    }
+
+    #[test]
+    fn chrome_trace_has_durations_and_instants() {
+        let log = sample_log();
+        let v = log.to_chrome_trace();
+        let events = v
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), log.len());
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(phases.iter().filter(|&&p| p == "X").count(), 1);
+        assert!(phases.iter().all(|&p| p == "X" || p == "i"));
+        // The execute event spans its latency.
+        let exec = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .unwrap();
+        assert_eq!(exec.get("ts").and_then(Json::as_u64), Some(7));
+        assert_eq!(exec.get("dur").and_then(Json::as_u64), Some(2));
+        // Every event has the mandatory trace_event members.
+        for e in events {
+            for key in ["name", "cat", "ts", "pid", "tid", "ph"] {
+                assert!(e.get(key).is_some(), "missing {key}");
+            }
+        }
     }
 }

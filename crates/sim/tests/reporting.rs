@@ -89,6 +89,94 @@ fn stats_are_internally_consistent() {
 }
 
 #[test]
+fn cpi_stack_is_conservative_and_complete() {
+    let sim = small_sim();
+    let s = sim.stats();
+    let cpi = sim.cpi();
+    // Exact slot identity: every commit slot of every cycle is accounted.
+    assert!(
+        cpi.check_complete(),
+        "sum of stack components {} != cycles {} x width {}",
+        cpi.total_slots(),
+        cpi.cycles,
+        cpi.width
+    );
+    assert_eq!(cpi.cycles, s.cycles, "cpi stack covers every cycle");
+    assert_eq!(cpi.base, s.retired, "base slots are exactly retirements");
+    assert!(
+        (cpi.ipc_from_base() - s.ipc()).abs() < 1e-9,
+        "base must reproduce IPC: {} vs {}",
+        cpi.ipc_from_base(),
+        s.ipc()
+    );
+    // CPI contributions sum to the run's CPI.
+    let total_cpi: f64 = cpi.cpi_of(cpi.base)
+        + cpi
+            .stall_slots()
+            .iter()
+            .map(|&(_, v)| cpi.cpi_of(v))
+            .sum::<f64>();
+    let run_cpi = s.cycles as f64 / s.retired as f64;
+    assert!(
+        (total_cpi - run_cpi).abs() < 1e-9,
+        "stack CPI {total_cpi} != run CPI {run_cpi}"
+    );
+}
+
+#[test]
+fn fill_telemetry_reports_accepts_and_rejects() {
+    let sim = small_sim();
+    let report = sim.report();
+    let m = &report.metrics;
+    // Accepts are the single source of truth for Table 2: they agree with
+    // the fill unit's build-time counts.
+    let fill = sim.fill_stats();
+    assert_eq!(m.counter("fill.moves.accept"), fill.opts.moves);
+    assert_eq!(m.counter("fill.reassoc.accept"), fill.opts.reassoc);
+    assert_eq!(m.counter("fill.scadd.accept"), fill.opts.scadd);
+    assert_eq!(
+        m.counter("fill.placement.accept"),
+        fill.opts.placed_segments
+    );
+    // The workload's loop rebuilds segments; some candidates must have
+    // been examined and rejected with a recorded reason.
+    let rejects: u64 = m
+        .counters_with_prefix("fill.reassoc.reject.")
+        .chain(m.counters_with_prefix("fill.scadd.reject."))
+        .map(|(_, v)| v)
+        .sum();
+    assert!(rejects > 0, "expected recorded reject reasons");
+    // Retire-time mirrors consumed by the Table 2 path.
+    assert_eq!(m.counter("retire.moves"), report.stats.retired_moves);
+    assert_eq!(m.counter("retire.total"), report.stats.retired);
+    // Distributions exist and are populated.
+    let seg_len = m
+        .histogram("fill.segment_len")
+        .expect("segment-length histogram");
+    assert_eq!(seg_len.count(), report.fill_segments);
+    let occ = m
+        .histogram("sim.window_occupancy")
+        .expect("occupancy histogram");
+    assert_eq!(occ.count(), report.stats.cycles);
+}
+
+#[test]
+fn report_json_roundtrips_through_from_json() {
+    let sim = small_sim();
+    let report = sim.report();
+    let text = report.to_json().dump();
+    let back = tracefill_sim::Report::from_json(&tracefill_util::Json::parse(&text).unwrap());
+    // Round trip is lossless: re-serializing produces identical bytes.
+    assert_eq!(back.to_json().dump(), text);
+    assert_eq!(back.stats, report.stats);
+    assert_eq!(back.cpi, report.cpi);
+    assert_eq!(
+        back.metrics.counter("fill.moves.accept"),
+        report.metrics.counter("fill.moves.accept")
+    );
+}
+
+#[test]
 fn dump_window_is_renderable_midflight() {
     let prog = tracefill_workloads::by_name("m88k")
         .unwrap()

@@ -10,15 +10,20 @@
 //!   pattern-mix workload generator and any test that needs controlled
 //!   randomness;
 //! * [`hash`] — FNV-1a 64-bit hashing, used for stable content-addressed
-//!   run identifiers in `tracefill-harness`.
+//!   run identifiers in `tracefill-harness`;
+//! * [`metrics`] — counters, gauges and fixed-bucket mergeable histograms
+//!   with deterministic JSON export, the substrate for fill-unit opt
+//!   telemetry and harness aggregation.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod hash;
 pub mod json;
+pub mod metrics;
 pub mod rng;
 
 pub use hash::fnv1a64;
 pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use rng::SplitMix64;

@@ -1,0 +1,75 @@
+//! Validates `tracefill trace` output with the workspace JSON parser —
+//! the offline smoke check behind `scripts/ci.sh`'s trace step.
+//!
+//! ```text
+//! validate_trace jsonl  <file>   # one JSON object per line, cycle + kind
+//! validate_trace json   <file>   # a single JSON document (chrome format)
+//! validate_trace report <file>   # a `--stats-json` report document
+//! ```
+//!
+//! Exits non-zero (with a line-numbered message) on the first byte the
+//! parser rejects, so a formatting regression in the exporters fails CI
+//! without any external tooling.
+
+use std::process::exit;
+use tracefill_util::Json;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("validate_trace: {msg}");
+    exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, path) = match (args.first(), args.get(1)) {
+        (Some(m), Some(p)) if ["jsonl", "json", "report"].contains(&m.as_str()) => {
+            (m.as_str(), p.as_str())
+        }
+        _ => fail("usage: validate_trace <jsonl|json|report> <file>"),
+    };
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    match mode {
+        "jsonl" => {
+            let mut events = 0usize;
+            for (i, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let row =
+                    Json::parse(line).unwrap_or_else(|e| fail(&format!("{path}:{}: {e}", i + 1)));
+                for member in ["cycle", "kind"] {
+                    if row.get(member).is_none() {
+                        fail(&format!("{path}:{}: row missing `{member}`", i + 1));
+                    }
+                }
+                events += 1;
+            }
+            if events == 0 {
+                fail(&format!("{path}: no events"));
+            }
+            println!("{path}: {events} JSONL events parse");
+        }
+        "json" => {
+            let doc = Json::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+            let n = doc
+                .get("traceEvents")
+                .and_then(Json::as_arr)
+                .map_or(0, <[Json]>::len);
+            if n == 0 {
+                fail(&format!("{path}: no traceEvents"));
+            }
+            println!("{path}: {n} trace events parse");
+        }
+        "report" => {
+            let doc = Json::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+            for member in ["stats", "cpi", "metrics"] {
+                if doc.get(member).is_none() {
+                    fail(&format!("{path}: report missing `{member}`"));
+                }
+            }
+            println!("{path}: report parses (stats + cpi + metrics present)");
+        }
+        _ => unreachable!(),
+    }
+}

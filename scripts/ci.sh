@@ -21,4 +21,40 @@ cargo fmt --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> trace export smoke (tracefill trace -> tracefill-util parse)"
+SMOKE_DIR="target/ci-smoke"
+mkdir -p "$SMOKE_DIR"
+cat > "$SMOKE_DIR/smoke.s" <<'EOF'
+        .text
+main:   li   $s0, 64
+loop:   andi $t0, $s0, 3
+        add  $s1, $s1, $t0
+        addi $s0, $s0, -1
+        bgtz $s0, loop
+        move $a0, $s1
+        li   $v0, 1
+        syscall
+        li   $a0, 0
+        li   $v0, 10
+        syscall
+EOF
+cargo run --release -q -p tracefill-bench --bin tracefill -- \
+    trace "$SMOKE_DIR/smoke.s" --out "$SMOKE_DIR/smoke.jsonl"
+cargo run --release -q -p tracefill-bench --bin tracefill -- \
+    trace "$SMOKE_DIR/smoke.s" --format chrome --out "$SMOKE_DIR/smoke.chrome.json"
+cargo run --release -q -p tracefill-bench --example validate_trace -- \
+    jsonl "$SMOKE_DIR/smoke.jsonl"
+cargo run --release -q -p tracefill-bench --example validate_trace -- \
+    json "$SMOKE_DIR/smoke.chrome.json"
+# Determinism: an identical run must export byte-identical traces.
+cargo run --release -q -p tracefill-bench --bin tracefill -- \
+    trace "$SMOKE_DIR/smoke.s" --out "$SMOKE_DIR/smoke2.jsonl"
+cmp "$SMOKE_DIR/smoke.jsonl" "$SMOKE_DIR/smoke2.jsonl"
+
+echo "==> stats-json smoke (tracefill run --stats-json)"
+cargo run --release -q -p tracefill-bench --bin tracefill -- \
+    run "$SMOKE_DIR/smoke.s" --stats-json "$SMOKE_DIR/smoke.stats.json" > /dev/null
+cargo run --release -q -p tracefill-bench --example validate_trace -- \
+    report "$SMOKE_DIR/smoke.stats.json"
+
 echo "==> OK"

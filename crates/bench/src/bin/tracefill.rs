@@ -11,7 +11,12 @@
 //! tracefill characterize <file.s>
 //! tracefill suite [--opts SPEC] [--budget N]
 //! tracefill campaign <fig8|table2|spec.json> [--out results.jsonl] [--jobs N] [--quiet]
+//!                    [--quarantine-after K] [--wall-budget-ms N]
 //! tracefill report <results.jsonl> [--format fig8|table2|cpi|summary|all]
+//! tracefill verify [<file.s>] [--opts SPEC[:SPEC...]] [--budget N] [--max-cycles N]
+//! tracefill inject [--bench NAME] [--opts SPEC[:SPEC...]] [--seed N] [--trials N]
+//!                  [--faults N] [--horizon N] [--kinds a,b,c] [--detect strict|oracle|none]
+//!                  [--budget N] [--json]
 //! ```
 //!
 //! Numeric flags are parsed strictly: a malformed value is a usage error
@@ -20,12 +25,15 @@
 use std::process::exit;
 use tracefill_core::config::OptConfig;
 use tracefill_harness::grid::parse_opt_spec;
-use tracefill_harness::{report, run_campaign, store, CampaignSpec, ResultStore};
+use tracefill_harness::{
+    report, run_campaign_with, store, CampaignOptions, CampaignSpec, ResultStore,
+};
 use tracefill_isa::asm::assemble;
-use tracefill_isa::interp::Interp;
+use tracefill_isa::interp::{Halt, Interp};
 use tracefill_isa::syscall::IoCtx;
 use tracefill_isa::Program;
-use tracefill_sim::{SimConfig, Simulator};
+use tracefill_sim::{FaultKind, FaultPlan, RunExit, SimConfig, Simulator};
+use tracefill_util::Json;
 
 fn usage() -> ! {
     eprintln!(
@@ -36,9 +44,15 @@ fn usage() -> ! {
   tracefill characterize <file.s>
   tracefill suite [--opts SPEC] [--budget N]
   tracefill campaign <fig8|table2|spec.json> [--out results.jsonl] [--jobs N] [--quiet]
+                     [--quarantine-after K] [--wall-budget-ms N]
   tracefill report <results.jsonl> [--format fig8|table2|cpi|summary|all]
+  tracefill verify [<file.s>] [--opts SPEC[:SPEC...]] [--budget N] [--max-cycles N]
+  tracefill inject [--bench NAME] [--opts SPEC[:SPEC...]] [--seed N] [--trials N]
+                   [--faults N] [--horizon N] [--kinds a,b,c] [--detect strict|oracle|none]
+                   [--budget N] [--json]
 
-SPEC is `all`, `none`, or a comma list of: moves reassoc scadd placement cse"
+SPEC is `all`, `none`, or a comma list of: moves reassoc scadd placement cse
+`verify` and `inject` take several SPECs separated by `:`"
     );
     exit(2);
 }
@@ -48,6 +62,15 @@ fn parse_opts(spec: &str) -> OptConfig {
         eprintln!("{e}");
         usage();
     })
+}
+
+/// Parses a colon-separated list of opt specs into `(label, config)`
+/// pairs, e.g. `none:moves:all`.
+fn parse_opt_list(list: &str) -> Vec<(String, OptConfig)> {
+    list.split(':')
+        .filter(|s| !s.is_empty())
+        .map(|s| (s.to_string(), parse_opts(s)))
+        .collect()
 }
 
 /// The value following `name`, if the flag is present. A flag given
@@ -303,25 +326,38 @@ fn cmd_campaign(args: &[String]) {
         exit(2);
     }
     let quiet = args.iter().any(|a| a == "--quiet");
+    let quarantine_after: u32 = parse_flag(args, "--quarantine-after", 3);
+    let wall_budget_ms: u64 = parse_flag(args, "--wall-budget-ms", 0);
 
     let mut store = ResultStore::open(&out).unwrap_or_else(|e| {
         eprintln!("cannot open {out}: {e}");
         exit(1);
     });
-    let summary = run_campaign(&spec, &mut store, jobs, !quiet).unwrap_or_else(|e| {
+    let options = CampaignOptions {
+        jobs,
+        live_progress: !quiet,
+        quarantine_after,
+        cancel: None,
+        wall_budget_ms,
+    };
+    let summary = run_campaign_with(&spec, &mut store, &options).unwrap_or_else(|e| {
         eprintln!("campaign failed: {e}");
         exit(1);
     });
     println!(
-        "campaign `{}`: {} runs ({} resumed, {} executed, {} failed) in {:.1}s -> {}",
+        "campaign `{}`: {} runs ({} resumed, {} executed, {} failed, {} quarantined) in {:.1}s -> {}",
         spec.name,
         summary.total,
         summary.skipped,
         summary.executed,
         summary.failed,
+        summary.quarantined,
         summary.wall_ms as f64 / 1000.0,
         out,
     );
+    if summary.cancelled {
+        eprintln!("note: campaign was cancelled (wall budget); resume with the same command");
+    }
     if summary.failed > 0 {
         eprintln!(
             "note: {} run(s) did not finish Ok; see `tracefill report {out} --format summary`",
@@ -330,14 +366,278 @@ fn cmd_campaign(args: &[String]) {
     }
 }
 
+/// Lockstep-oracle verification: every workload (or one file) under every
+/// requested optimization set, strict segment verification *and* retire-time
+/// oracle checking on. Any divergence prints the structured report and
+/// fails the command.
+fn cmd_verify(args: &[String]) {
+    let opt_list = parse_opt_list(
+        &flag_value(args, "--opts")
+            .unwrap_or_else(|| "none:moves:reassoc:scadd:placement:cse:all".into()),
+    );
+    if opt_list.is_empty() {
+        usage();
+    }
+    let budget: u64 = parse_flag(args, "--budget", 30_000);
+    let max_cycles: u64 = parse_flag(args, "--max-cycles", 5_000_000);
+
+    let programs: Vec<(String, Program)> = match args.first().filter(|a| !a.starts_with("--")) {
+        Some(path) => vec![(path.clone(), load(path))],
+        None => tracefill_workloads::suite()
+            .into_iter()
+            .map(|b| {
+                let prog = b.program(b.scale_for(budget)).unwrap_or_else(|e| {
+                    eprintln!("{}: {e}", b.name);
+                    exit(1);
+                });
+                (b.name.to_string(), prog)
+            })
+            .collect(),
+    };
+
+    let mut passed = 0u64;
+    let mut diverged = 0u64;
+    for (name, prog) in &programs {
+        for (label, opts) in &opt_list {
+            let mut sim = Simulator::new(prog, SimConfig::with_opts(*opts));
+            match sim.run_budgeted(budget, max_cycles, None) {
+                Ok(_) => {
+                    passed += 1;
+                    println!(
+                        "PASS {:<8} opts={:<26} retired={} cycles={}",
+                        name,
+                        label,
+                        sim.stats().retired,
+                        sim.cycle()
+                    );
+                }
+                Err(e) => {
+                    diverged += 1;
+                    eprintln!("FAIL {name} opts={label}");
+                    match e.divergence() {
+                        Some(rep) => eprintln!("{rep}"),
+                        None => eprintln!("{e}"),
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "verify: {passed} configuration(s) passed, {diverged} diverged (budget {budget} instrs each)"
+    );
+    if diverged > 0 {
+        exit(1);
+    }
+}
+
+/// Outcome keys for the SDC table, in fixed print order.
+const INJECT_OUTCOMES: [&str; 10] = [
+    "injected",
+    "detected.verify",
+    "detected.fill_verify",
+    "detected.oracle",
+    "detected.watchdog",
+    "detected.panic",
+    "detected.simerror",
+    "masked",
+    "silent",
+    "unfired",
+];
+
+/// Deterministic fault-injection campaign: per opt set, run `--trials`
+/// seeded [`FaultPlan`]s and classify each run as detected (by which
+/// layer), masked, silent (SDC), or unfired. The same seed always produces
+/// the same table.
+fn cmd_inject(args: &[String]) {
+    let bench_name = flag_value(args, "--bench").unwrap_or_else(|| "m88k".into());
+    let bench = tracefill_workloads::by_name(&bench_name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown benchmark `{bench_name}` (expected one of: {})",
+            tracefill_workloads::names().join(", ")
+        );
+        exit(2);
+    });
+    let opt_list = parse_opt_list(&flag_value(args, "--opts").unwrap_or_else(|| "none:all".into()));
+    if opt_list.is_empty() {
+        usage();
+    }
+    let seed: u64 = parse_flag(args, "--seed", 1);
+    let trials: u64 = parse_flag(args, "--trials", 20);
+    let faults: usize = parse_flag(args, "--faults", 4);
+    let horizon: u64 = parse_flag(args, "--horizon", 400);
+    let budget: u64 = parse_flag(args, "--budget", 20_000);
+    let json = args.iter().any(|a| a == "--json");
+    let detect = flag_value(args, "--detect").unwrap_or_else(|| "strict".into());
+    if !matches!(detect.as_str(), "strict" | "oracle" | "none") {
+        eprintln!("unknown detect mode `{detect}` (expected strict, oracle, none)");
+        exit(2);
+    }
+    let kinds: Vec<FaultKind> = match flag_value(args, "--kinds") {
+        None => FaultKind::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                FaultKind::parse(s).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown fault kind `{s}` (expected: {})",
+                        FaultKind::ALL.map(FaultKind::name).join(", ")
+                    );
+                    exit(2);
+                })
+            })
+            .collect(),
+    };
+    if kinds.is_empty() {
+        usage();
+    }
+
+    // A scale at which the kernel *halts* within the budget, so clean runs
+    // produce a complete, comparable output stream.
+    let scale = ((budget / u64::from(bench.instrs_per_scale.max(1))).max(1)) as u32;
+    let prog = bench.program(scale).unwrap_or_else(|e| {
+        eprintln!("{bench_name}: {e}");
+        exit(1);
+    });
+    let mut reference = Interp::with_io(&prog, IoCtx::default());
+    let ref_halt = reference
+        .run(budget.saturating_mul(50))
+        .unwrap_or_else(|e| {
+            eprintln!("reference interpreter faulted: {e}");
+            exit(1);
+        });
+    let ref_output = reference.io().output.clone();
+
+    // A fault-induced panic is a *detection* here; keep its default
+    // backtrace off stderr so campaign output stays readable.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut tables: Vec<(String, std::collections::BTreeMap<&'static str, u64>)> = Vec::new();
+    for (label, opts) in &opt_list {
+        let mut table: std::collections::BTreeMap<&'static str, u64> =
+            INJECT_OUTCOMES.iter().map(|k| (*k, 0)).collect();
+        for trial in 0..trials {
+            let plan_seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(trial + 1));
+            let plan = FaultPlan::generate(plan_seed, faults, horizon, &kinds);
+            let mut cfg = SimConfig::with_opts(*opts);
+            cfg.fault_plan = Some(plan);
+            match detect.as_str() {
+                "strict" => {}
+                "oracle" => cfg.fill.strict_verify = false,
+                _ => {
+                    cfg.fill.strict_verify = false;
+                    cfg.oracle_check = false;
+                }
+            }
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut sim = Simulator::new(&prog, cfg);
+                let exit_state = sim.run_budgeted(budget.saturating_mul(10), 50_000_000, None);
+                let fill_verify = sim.report().metrics.counter("fault.detected.fill_verify");
+                (
+                    exit_state,
+                    sim.faults_fired(),
+                    fill_verify,
+                    sim.io().output.clone(),
+                )
+            }));
+            let key = match outcome {
+                Err(_) => "detected.panic",
+                Ok((run, fired, fill_verify, output)) => {
+                    *table.get_mut("injected").unwrap() += fired;
+                    match run {
+                        Err(e) => match e.divergence() {
+                            Some(rep) if rep.kind == "segment-verify" => "detected.verify",
+                            Some(_) => "detected.oracle",
+                            None => "detected.simerror",
+                        },
+                        Ok(_) if fired == 0 => "unfired",
+                        Ok(RunExit::Exited(code)) => {
+                            let clean = output == ref_output && ref_halt == Halt::Exited(code);
+                            match (clean, fill_verify > 0) {
+                                (true, true) => "detected.fill_verify",
+                                (true, false) => "masked",
+                                (false, _) => "silent",
+                            }
+                        }
+                        Ok(RunExit::Break) => {
+                            let clean = output == ref_output && ref_halt == Halt::Break;
+                            match (clean, fill_verify > 0) {
+                                (true, true) => "detected.fill_verify",
+                                (true, false) => "masked",
+                                (false, _) => "silent",
+                            }
+                        }
+                        Ok(RunExit::CycleLimit | RunExit::InstrLimit | RunExit::Cancelled) => {
+                            "detected.watchdog"
+                        }
+                    }
+                }
+            };
+            *table.get_mut(key).unwrap() += 1;
+        }
+        tables.push((label.clone(), table));
+    }
+    std::panic::set_hook(prev_hook);
+
+    if json {
+        let mut results = Json::object();
+        for (label, table) in &tables {
+            let mut row = Json::object();
+            for key in INJECT_OUTCOMES {
+                row = row.with(key, table[key]);
+            }
+            results = results.with(label, row);
+        }
+        let doc = Json::object()
+            .with("bench", bench.name)
+            .with("seed", seed)
+            .with("trials", trials)
+            .with("faults_per_trial", faults)
+            .with("horizon", horizon)
+            .with("detect", detect.as_str())
+            .with(
+                "kinds",
+                Json::Arr(kinds.iter().map(|k| Json::from(k.name())).collect()),
+            )
+            .with("results", results);
+        println!("{}", doc.dump_pretty(2));
+        return;
+    }
+
+    println!(
+        "fault injection: bench={} seed={seed} trials={trials} faults/trial={faults} horizon={horizon} detect={detect}",
+        bench.name
+    );
+    print!("{:<22}", "outcome");
+    for (label, _) in &tables {
+        print!(" {label:>12}");
+    }
+    println!();
+    for key in INJECT_OUTCOMES {
+        print!("{key:<22}");
+        for (_, table) in &tables {
+            print!(" {:>12}", table[key]);
+        }
+        println!();
+    }
+    let sdc: u64 = tables.iter().map(|(_, t)| t["silent"]).sum();
+    if sdc > 0 {
+        println!("note: {sdc} silent-data-corruption run(s) — re-run with --detect strict to see the checkers catch them");
+    }
+}
+
 fn cmd_report(args: &[String]) {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         usage()
     };
-    let records = store::load_records(path).unwrap_or_else(|e| {
+    let (records, malformed) = store::load_records_counted(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         exit(1);
     });
+    if malformed > 0 {
+        eprintln!("warning: {path}: skipped {malformed} malformed row(s)");
+    }
     if records.is_empty() {
         eprintln!("{path}: no parseable run records");
         exit(1);
@@ -374,6 +674,8 @@ fn main() {
         Some("suite") => cmd_suite(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("inject") => cmd_inject(&args[1..]),
         _ => usage(),
     }
 }

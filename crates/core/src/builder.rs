@@ -9,7 +9,7 @@
 //! straight through block boundaries.
 
 use crate::config::FillConfig;
-use crate::segment::{BranchInfo, SegEnd, SegSlot, Segment, SrcRef};
+use crate::segment::{BranchInfo, Provenance, SegEnd, SegSlot, Segment, SrcRef};
 use tracefill_isa::reg::NUM_ARCH_REGS;
 use tracefill_isa::Instr;
 
@@ -207,6 +207,7 @@ impl SegmentBuilder {
             issue_pos: (0..n).collect(),
             branches,
             end,
+            provenance: Provenance::default(),
         };
         debug_assert_eq!(seg.check_invariants(), Ok(()));
         Some(seg)

@@ -151,6 +151,17 @@ pub struct FillConfig {
     pub opts: OptConfig,
     /// Cluster geometry used by the placement pass.
     pub clusters: ClusterConfig,
+    /// Always-on per-segment verification: after the optimization passes
+    /// run, re-check structural invariants *and* dataflow equivalence
+    /// ([`opt::strict_check`](crate::opt::strict_check)) even in release
+    /// builds. A failing segment is dropped (never cached) and reported
+    /// through [`FillUnit::take_verify_failure`].
+    ///
+    /// Off by default for raw-throughput campaigns; the simulator's oracle
+    /// mode turns it on.
+    ///
+    /// [`FillUnit::take_verify_failure`]: crate::fill::FillUnit::take_verify_failure
+    pub strict_verify: bool,
 }
 
 impl Default for FillConfig {
@@ -164,6 +175,7 @@ impl Default for FillConfig {
             align_loops: true,
             opts: OptConfig::none(),
             clusters: ClusterConfig::default(),
+            strict_verify: false,
         }
     }
 }

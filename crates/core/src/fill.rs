@@ -40,6 +40,25 @@ impl FillStats {
     }
 }
 
+/// A segment the strict verifier rejected after optimization. The segment
+/// itself is dropped (never reaches the trace cache); this record carries
+/// everything needed to report the failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyFailure {
+    /// Fill-unit id of the rejected segment.
+    pub seg_id: u64,
+    /// Its start address.
+    pub start_pc: u32,
+    /// Its length in instruction slots.
+    pub len: usize,
+    /// What the verifier objected to.
+    pub detail: String,
+    /// Which optimization passes had touched the segment.
+    pub passes: Vec<&'static str>,
+    /// Injected-fault note, if the segment had been corrupted.
+    pub fault: Option<String>,
+}
+
 /// The fill unit.
 ///
 /// # Examples
@@ -73,6 +92,11 @@ pub struct FillUnit {
     /// Accept/reject-reason counters from the optimization passes, plus
     /// segment-shape distributions (`fill.segment_len`, `fill.seg_end.*`).
     telemetry: Registry,
+    /// Next segment id (monotonic from 1; 0 means "no fill unit").
+    next_seg_id: u64,
+    /// First strict-verification failure, if any (see
+    /// [`FillConfig::strict_verify`]).
+    verify_failure: Option<VerifyFailure>,
 }
 
 impl FillUnit {
@@ -84,6 +108,8 @@ impl FillUnit {
             pipe: VecDeque::new(),
             stats: FillStats::default(),
             telemetry: Registry::new(),
+            next_seg_id: 1,
+            verify_failure: None,
         }
     }
 
@@ -133,6 +159,8 @@ impl FillUnit {
         let Some(mut seg) = self.builder.finalize(end) else {
             return;
         };
+        seg.provenance.seg_id = self.next_seg_id;
+        self.next_seg_id += 1;
         let counts = opt::apply_all_telemetry(
             &mut seg,
             &self.config.opts,
@@ -156,6 +184,25 @@ impl FillUnit {
             SegEnd::FetchAligned => "fill.seg_end.fetch_aligned",
             SegEnd::Flushed => "fill.seg_end.flushed",
         });
+        // Always-on verification (oracle runs): a segment the passes broke
+        // is dropped on the floor rather than cached, and the first failure
+        // is retained for the simulator to surface as a divergence.
+        if self.config.strict_verify {
+            if let Err(detail) = opt::strict_check(&seg) {
+                self.telemetry.inc("fill.verify.fail");
+                if self.verify_failure.is_none() {
+                    self.verify_failure = Some(VerifyFailure {
+                        seg_id: seg.provenance.seg_id,
+                        start_pc: seg.start_pc,
+                        len: seg.slots.len(),
+                        detail,
+                        passes: seg.provenance.passes(),
+                        fault: seg.provenance.fault.clone(),
+                    });
+                }
+                return;
+            }
+        }
         self.pipe
             .push_back((now + self.config.latency as u64, Arc::new(seg)));
     }
@@ -177,6 +224,12 @@ impl FillUnit {
     /// Number of segments currently traversing the fill pipeline.
     pub fn in_flight(&self) -> usize {
         self.pipe.len()
+    }
+
+    /// Takes the first strict-verification failure, if one occurred (see
+    /// [`FillConfig::strict_verify`]).
+    pub fn take_verify_failure(&mut self) -> Option<VerifyFailure> {
+        self.verify_failure.take()
     }
 }
 

@@ -62,6 +62,6 @@ pub mod segment;
 pub mod tcache;
 
 pub use config::{FillConfig, OptConfig, TraceCacheConfig};
-pub use fill::FillUnit;
-pub use segment::{SegSlot, Segment, SrcRef};
+pub use fill::{FillUnit, VerifyFailure};
+pub use segment::{Provenance, SegSlot, Segment, SrcRef};
 pub use tcache::TraceCache;

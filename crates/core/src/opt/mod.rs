@@ -86,9 +86,25 @@ pub fn apply_all_telemetry(
         placement::apply_counted(seg, clusters, telemetry);
         counts.placed_segments = 1;
     }
+    seg.provenance.opt_counts = counts;
     debug_assert_eq!(seg.check_invariants(), Ok(()));
     debug_assert_eq!(verify::equivalent(seg, 0xfeed_f00d), Ok(()));
     counts
+}
+
+/// Always-on (release-mode) per-segment verification: structural
+/// invariants plus dataflow equivalence by concrete evaluation. This is
+/// the `debug_assert` pair above promoted to a callable check, used when
+/// [`FillConfig::strict_verify`](crate::config::FillConfig::strict_verify)
+/// is set (the default in oracle runs).
+///
+/// # Errors
+///
+/// Returns a description of the first violated property.
+pub fn strict_check(seg: &Segment) -> Result<(), String> {
+    seg.check_invariants()
+        .map_err(|e| format!("invariant violation: {e}"))?;
+    verify::equivalent(seg, 0xfeed_f00d).map_err(|e| format!("equivalence violation: {e}"))
 }
 
 #[cfg(test)]

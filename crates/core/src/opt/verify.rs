@@ -166,24 +166,45 @@ fn eval_optimized(seg: &Segment, init: &[u32; NUM_ARCH_REGS], seed: u32) -> Vec<
 }
 
 /// Checks that the optimized segment is dataflow-equivalent to its
-/// original instruction sequence, over several random live-in assignments.
+/// original instruction sequence, over several random live-in assignments
+/// plus two adversarial ones.
+///
+/// The random rounds exercise realistic dataflow; the all-ones and
+/// alternating-bit rounds exist for fault detection — a single flipped bit
+/// in a bitwise immediate (`andi`/`ori`/`xori`) only changes the result
+/// when the live-in has that bit set, so a purely random probe misses it
+/// with probability `2^-rounds`. The dense patterns make any immediate
+/// corruption of a bitwise operation visible deterministically.
 ///
 /// # Errors
 ///
 /// Returns a description of the first diverging slot.
 pub fn equivalent(seg: &Segment, seed: u64) -> Result<(), String> {
-    for round in 0..4u32 {
+    for round in 0..6u32 {
         let s = mix(seed as u32 ^ mix((seed >> 32) as u32 ^ round));
         let mut init = [0u32; NUM_ARCH_REGS];
         for r in ArchReg::all() {
             init[r.index()] = mix(s ^ (r.index() as u32).wrapping_mul(0x85eb_ca6b));
         }
         init[0] = 0;
-        // Half the rounds use small values so branch predicates and address
-        // arithmetic exercise both outcomes, not just random-noise paths.
-        if round % 2 == 1 {
+        // Half the random rounds use small values so branch predicates and
+        // address arithmetic exercise both outcomes, not just random-noise
+        // paths.
+        if round % 2 == 1 && round < 4 {
             for v in init.iter_mut().skip(1) {
                 *v %= 64;
+            }
+        }
+        // Adversarial rounds: dense bit patterns that surface single-bit
+        // immediate corruption in bitwise operations.
+        if round == 4 {
+            for v in init.iter_mut().skip(1) {
+                *v = 0xffff_ffff;
+            }
+        }
+        if round == 5 {
+            for (i, v) in init.iter_mut().enumerate().skip(1) {
+                *v = if i % 2 == 0 { 0xaaaa_aaaa } else { 0x5555_5555 };
             }
         }
         let orig = eval_original(seg, &init, s);

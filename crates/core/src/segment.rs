@@ -128,6 +128,48 @@ pub enum SegEnd {
     Flushed,
 }
 
+/// Fill-unit provenance carried by every segment so that downstream
+/// consumers — the lockstep oracle in particular — can attribute a
+/// misbehaving trace line back to the fill event that produced it and to
+/// the optimization passes that rewrote it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Provenance {
+    /// Monotonic id assigned by the fill unit at finalization (0 when the
+    /// segment was built outside a fill unit, e.g. by
+    /// [`build_segments`](crate::builder::build_segments)).
+    pub seg_id: u64,
+    /// Per-pass transformation counts recorded when the optimization
+    /// passes ran over this segment.
+    pub opt_counts: crate::opt::OptCounts,
+    /// Description of an injected fault applied to this segment, if any
+    /// (set by the sim's fault injector; `None` in normal operation).
+    pub fault: Option<String>,
+}
+
+impl Provenance {
+    /// Names of the optimization passes that actually transformed this
+    /// segment (empty for an untouched segment).
+    pub fn passes(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.opt_counts.moves > 0 {
+            out.push("moves");
+        }
+        if self.opt_counts.cse > 0 {
+            out.push("cse");
+        }
+        if self.opt_counts.reassoc > 0 {
+            out.push("reassoc");
+        }
+        if self.opt_counts.scadd > 0 {
+            out.push("scadd");
+        }
+        if self.opt_counts.placed_segments > 0 {
+            out.push("placement");
+        }
+        out
+    }
+}
+
 /// Description of one conditional branch inside a segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BranchInfo {
@@ -154,6 +196,8 @@ pub struct Segment {
     pub branches: Vec<BranchInfo>,
     /// Why the segment ended.
     pub end: SegEnd,
+    /// Fill-unit provenance (id, pass attribution, injected-fault note).
+    pub provenance: Provenance,
 }
 
 impl Segment {

@@ -44,6 +44,6 @@ pub mod runner;
 pub mod store;
 
 pub use grid::{CampaignSpec, OptPoint, RunDescriptor};
-pub use pool::{run_campaign, CampaignSummary};
+pub use pool::{run_campaign, run_campaign_with, CampaignOptions, CampaignSummary};
 pub use runner::{RunRecord, RunStatus};
 pub use store::ResultStore;

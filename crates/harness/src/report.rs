@@ -346,6 +346,7 @@ pub fn summary(records: &[RunRecord]) -> String {
     let mut by_status: BTreeMap<&'static str, usize> = BTreeMap::new();
     let mut cycles = 0u64;
     let mut retired = 0u64;
+    let mut quarantined: BTreeMap<(String, String), usize> = BTreeMap::new();
     for r in records {
         let tag = match &r.status {
             crate::runner::RunStatus::Ok => "ok",
@@ -354,6 +355,12 @@ pub fn summary(records: &[RunRecord]) -> String {
             crate::runner::RunStatus::Cancelled => "cancelled",
             crate::runner::RunStatus::SimError(_) => "sim-error",
             crate::runner::RunStatus::Panic(_) => "panic",
+            crate::runner::RunStatus::Quarantined(_) => {
+                *quarantined
+                    .entry((r.bench.clone(), r.opt_label.clone()))
+                    .or_default() += 1;
+                "quarantined"
+            }
         };
         *by_status.entry(tag).or_default() += 1;
         cycles += r.stats.cycles;
@@ -367,6 +374,12 @@ pub fn summary(records: &[RunRecord]) -> String {
     );
     for (tag, count) in by_status {
         let _ = writeln!(s, "  {tag:12} {count}");
+    }
+    if !quarantined.is_empty() {
+        let _ = writeln!(s, "quarantined configurations (skipped without executing):");
+        for ((bench, opts), count) in quarantined {
+            let _ = writeln!(s, "  {bench}|{opts}  ({count} run(s) skipped)");
+        }
     }
     s
 }

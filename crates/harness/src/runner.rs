@@ -46,6 +46,10 @@ pub enum RunStatus {
     SimError(String),
     /// The run panicked; the payload is preserved.
     Panic(String),
+    /// The run was skipped because its configuration was quarantined
+    /// (K consecutive panics earlier in the campaign, this invocation or a
+    /// previous one); the quarantine key is preserved.
+    Quarantined(String),
 }
 
 impl RunStatus {
@@ -63,12 +67,13 @@ impl RunStatus {
             RunStatus::Cancelled => "cancelled",
             RunStatus::SimError(_) => "sim-error",
             RunStatus::Panic(_) => "panic",
+            RunStatus::Quarantined(_) => "quarantined",
         }
     }
 
     fn detail(&self) -> Option<&str> {
         match self {
-            RunStatus::SimError(d) | RunStatus::Panic(d) => Some(d),
+            RunStatus::SimError(d) | RunStatus::Panic(d) | RunStatus::Quarantined(d) => Some(d),
             _ => None,
         }
     }
@@ -173,6 +178,7 @@ impl RunRecord {
             ("cancelled", _) => RunStatus::Cancelled,
             ("sim-error", d) => RunStatus::SimError(d.unwrap_or("").to_string()),
             ("panic", d) => RunStatus::Panic(d.unwrap_or("").to_string()),
+            ("quarantined", d) => RunStatus::Quarantined(d.unwrap_or("").to_string()),
             (other, _) => return Err(format!("unknown status `{other}`")),
         };
         Ok(RunRecord {

@@ -7,6 +7,19 @@
 //! [`ResultStore::load`] and [`ResultStore::completed_ids`] tolerate by
 //! skipping it. Resume therefore never re-runs a recorded id and never
 //! trips over a torn tail.
+//!
+//! Robustness posture:
+//!
+//! * **Transient I/O** — appends retry with exponential backoff on
+//!   `Interrupted`/`WouldBlock`/`TimedOut` (see [`retry_io`]), so a
+//!   momentary stall (NFS hiccup, signal storm) doesn't abort a sweep.
+//! * **Malformed rows** — a row that is neither a record, a heartbeat, nor
+//!   a quarantine marker is *counted and skipped*, never fatal; the count
+//!   is surfaced by [`load_records_counted`] so corruption is visible
+//!   without killing resume.
+//! * **Quarantine** — `{"q":1,"key":...}` rows persist the campaign's
+//!   quarantine decisions (a configuration that panicked K consecutive
+//!   times), so a resumed campaign skips the poisoned cell immediately.
 
 use crate::runner::RunRecord;
 use std::collections::HashSet;
@@ -55,18 +68,28 @@ impl ResultStore {
         &self.path
     }
 
-    /// Appends one record (one atomic line write + flush).
+    /// Appends one record (one atomic line write + flush), retrying
+    /// transient failures with exponential backoff.
     ///
     /// # Errors
     ///
-    /// I/O errors writing.
+    /// Non-transient I/O errors writing (transient kinds are retried a few
+    /// times first; see [`retry_io`]).
     pub fn append(&mut self, record: &RunRecord) -> io::Result<()> {
         let mut line = record.to_json().dump();
         line.push('\n');
         // A single write on an O_APPEND fd is atomic with respect to other
         // appenders for ordinary files.
-        self.file.write_all(line.as_bytes())?;
-        self.file.flush()
+        self.append_line(&line)
+    }
+
+    /// Writes one preformatted line, with transient-error retry.
+    fn append_line(&mut self, line: &str) -> io::Result<()> {
+        let file = &mut self.file;
+        retry_io(|| {
+            file.write_all(line.as_bytes())?;
+            file.flush()
+        })
     }
 
     /// Appends a heartbeat row for `run_id`: the run has *started* on some
@@ -91,21 +114,66 @@ impl ResultStore {
             .with("at_ms", at_ms)
             .dump();
         line.push('\n');
-        self.file.write_all(line.as_bytes())?;
-        self.file.flush()
+        self.append_line(&line)
     }
 
-    /// The set of run ids already recorded (any status). A campaign skips
-    /// these on resume. Heartbeat rows do not count: a run that only
-    /// *started* before a crash must be re-executed.
+    /// Appends a quarantine marker for a configuration `key`
+    /// (`{"q":1,"key":...,"at_ms":...}`): the campaign decided this cell
+    /// is poisoned (K consecutive panics) and further runs of it should be
+    /// skipped — including by *future* invocations that resume this store.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing.
+    pub fn append_quarantine(&mut self, key: &str) -> io::Result<()> {
+        let at_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut line = Json::object()
+            .with("q", 1u32)
+            .with("key", key)
+            .with("at_ms", at_ms)
+            .dump();
+        line.push('\n');
+        self.append_line(&line)
+    }
+
+    /// The configuration keys quarantined by any earlier (or the current)
+    /// invocation of a campaign on this store.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading (a missing file yields the empty set).
+    pub fn quarantined_keys(&self) -> io::Result<HashSet<String>> {
+        let mut keys = HashSet::new();
+        for row in read_rows(&self.path)?.0 {
+            if row.get("q").is_none() {
+                continue;
+            }
+            if let Some(k) = row.get("key").and_then(Json::as_str) {
+                keys.insert(k.to_string());
+            }
+        }
+        Ok(keys)
+    }
+
+    /// The set of run ids already recorded. A campaign skips these on
+    /// resume. Heartbeat rows do not count: a run that only *started*
+    /// before a crash must be re-executed. `cancelled` rows do not count
+    /// either: a graceful shutdown records the interrupted runs so the
+    /// stream tells the story, but resume must finish their work.
     ///
     /// # Errors
     ///
     /// I/O errors reading (a missing file yields the empty set).
     pub fn completed_ids(&self) -> io::Result<HashSet<String>> {
         let mut ids = HashSet::new();
-        for row in read_rows(&self.path)? {
-            if row.get("hb").is_some() {
+        for row in read_rows(&self.path)?.0 {
+            if row.get("hb").is_some() || row.get("q").is_some() {
+                continue;
+            }
+            if row.get("status").and_then(Json::as_str) == Some("cancelled") {
                 continue;
             }
             if let Some(id) = row.get("run_id").and_then(Json::as_str) {
@@ -123,24 +191,70 @@ impl ResultStore {
     pub fn load(&self) -> io::Result<Vec<RunRecord>> {
         load_records(&self.path)
     }
+
+    /// Loads every parseable record plus the number of malformed rows
+    /// skipped on the way (rows that are neither records, heartbeats, nor
+    /// quarantine markers — e.g. a torn tail or foreign text). Corruption
+    /// is reported, never fatal.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading.
+    pub fn load_counted(&self) -> io::Result<(Vec<RunRecord>, usize)> {
+        load_records_counted(&self.path)
+    }
 }
 
-/// Parses every well-formed JSONL row in `path` (skipping a torn tail or
-/// foreign lines). A missing file yields no rows.
-fn read_rows(path: &Path) -> io::Result<Vec<Json>> {
+/// Retries a transient-failure-prone I/O action with exponential backoff
+/// (1, 2, 4, 8, 16 ms). Only `Interrupted`, `WouldBlock` and `TimedOut`
+/// are considered transient; anything else (or exhaustion of the retry
+/// budget) propagates immediately.
+fn retry_io<T>(mut action: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    const MAX_ATTEMPTS: u32 = 6;
+    let mut backoff_ms = 1u64;
+    let mut attempt = 0u32;
+    loop {
+        match action() {
+            Ok(v) => return Ok(v),
+            Err(e)
+                if attempt + 1 < MAX_ATTEMPTS
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::Interrupted
+                            | io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                    ) =>
+            {
+                std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                backoff_ms *= 2;
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Parses every well-formed JSONL row in `path`, counting lines that do
+/// not parse at all (torn tail, foreign text). A missing file yields no
+/// rows.
+fn read_rows(path: &Path) -> io::Result<(Vec<Json>, usize)> {
     let mut text = String::new();
     match File::open(path) {
         Ok(mut f) => {
             f.read_to_string(&mut text)?;
         }
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
         Err(e) => return Err(e),
     }
-    Ok(text
-        .lines()
-        .filter(|l| !l.trim().is_empty())
-        .filter_map(|l| Json::parse(l).ok())
-        .collect())
+    let mut rows = Vec::new();
+    let mut malformed = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match Json::parse(line) {
+            Ok(row) => rows.push(row),
+            Err(_) => malformed += 1,
+        }
+    }
+    Ok((rows, malformed))
 }
 
 /// Loads every parseable [`RunRecord`] from a JSONL file (standalone form,
@@ -150,10 +264,31 @@ fn read_rows(path: &Path) -> io::Result<Vec<Json>> {
 ///
 /// I/O errors reading.
 pub fn load_records(path: impl AsRef<Path>) -> io::Result<Vec<RunRecord>> {
-    Ok(read_rows(path.as_ref())?
-        .iter()
-        .filter_map(|row| RunRecord::from_json(row).ok())
-        .collect())
+    load_records_counted(path).map(|(records, _)| records)
+}
+
+/// Loads every parseable [`RunRecord`] plus the number of malformed rows
+/// skipped: lines that don't parse as JSON, or JSON rows that are neither
+/// a record, a heartbeat, nor a quarantine marker. A corrupted row in the
+/// *middle* of the file (disk damage, a partial concurrent write on an
+/// exotic filesystem) therefore costs exactly one row, not the store.
+///
+/// # Errors
+///
+/// I/O errors reading.
+pub fn load_records_counted(path: impl AsRef<Path>) -> io::Result<(Vec<RunRecord>, usize)> {
+    let (rows, mut malformed) = read_rows(path.as_ref())?;
+    let mut records = Vec::new();
+    for row in &rows {
+        if row.get("hb").is_some() || row.get("q").is_some() {
+            continue; // control rows, not records
+        }
+        match RunRecord::from_json(row) {
+            Ok(r) => records.push(r),
+            Err(_) => malformed += 1,
+        }
+    }
+    Ok((records, malformed))
 }
 
 #[cfg(test)]
@@ -251,6 +386,88 @@ mod tests {
     fn missing_file_is_empty() {
         let path = tmp("missing");
         assert!(load_records(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_mid_file_rows_are_counted_and_skipped() {
+        let path = tmp("malformed");
+        let mut store = ResultStore::open(&path).unwrap();
+        store.append(&rec("first")).unwrap();
+        {
+            // Mid-file damage: unparseable JSON, foreign text, and a JSON
+            // row that is not a record.
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"run_id\": \"torn\", \"status\n").unwrap();
+            f.write_all(b"not json at all\n").unwrap();
+            f.write_all(b"{\"run_id\": 42}\n").unwrap();
+        }
+        store.append(&rec("second")).unwrap();
+        let (records, malformed) = store.load_counted().unwrap();
+        assert_eq!(
+            records
+                .iter()
+                .map(|r| r.run_id.as_str())
+                .collect::<Vec<_>>(),
+            ["first", "second"],
+            "records on both sides of the damage survive"
+        );
+        assert_eq!(malformed, 3);
+        // The undamaged path reports zero.
+        let clean = tmp("malformed-clean");
+        ResultStore::open(&clean)
+            .unwrap()
+            .append(&rec("x"))
+            .unwrap();
+        assert_eq!(load_records_counted(&clean).unwrap().1, 0);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&clean);
+    }
+
+    #[test]
+    fn quarantine_rows_persist_across_reopen_and_are_not_completions() {
+        let path = tmp("quarantine");
+        let mut store = ResultStore::open(&path).unwrap();
+        store.append_quarantine("m88k|all").unwrap();
+        store.append(&rec("done")).unwrap();
+        drop(store);
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(
+            store.quarantined_keys().unwrap(),
+            HashSet::from(["m88k|all".to_string()])
+        );
+        assert_eq!(
+            store.completed_ids().unwrap(),
+            HashSet::from(["done".to_string()])
+        );
+        // Quarantine rows are control rows: neither records nor malformed.
+        let (records, malformed) = store.load_counted().unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(malformed, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn retry_io_retries_transient_kinds_only() {
+        // Transient: succeeds on the third attempt.
+        let mut attempts = 0;
+        let out: io::Result<u32> = retry_io(|| {
+            attempts += 1;
+            if attempts < 3 {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "signal"))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(attempts, 3);
+        // Permanent: propagates immediately.
+        let mut attempts = 0;
+        let out: io::Result<u32> = retry_io(|| {
+            attempts += 1;
+            Err(io::Error::new(io::ErrorKind::PermissionDenied, "nope"))
+        });
+        assert_eq!(out.unwrap_err().kind(), io::ErrorKind::PermissionDenied);
+        assert_eq!(attempts, 1);
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Self-healing harness tests: quarantine after repeated panics (including
+//! across resume), graceful wall-budget cancellation, and deterministic
+//! fault-injection sweeps through the campaign layer.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tracefill_core::config::OptConfig;
+use tracefill_harness::{
+    report, run_campaign_with, CampaignOptions, CampaignSpec, OptPoint, ResultStore, RunStatus,
+};
+
+fn spec(name: &str, benches: &[&str], seeds: &[u64], budget: u64) -> CampaignSpec {
+    CampaignSpec {
+        name: name.to_string(),
+        opt_sets: vec![OptPoint {
+            label: "none".to_string(),
+            opts: OptConfig::none(),
+        }],
+        fill_latencies: vec![1],
+        benchmarks: benches.iter().map(|b| (*b).to_string()).collect(),
+        seeds: seeds.to_vec(),
+        warmup: 500,
+        budget,
+        max_cycles: 10_000_000,
+        wall_limit_ms: 60_000,
+    }
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("tracefill-robust-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+#[test]
+fn repeated_panics_quarantine_the_cell_and_resume_honors_it() {
+    let spec1 = spec(
+        "rb-quarantine",
+        &["__panic__", "m88k"],
+        &[0, 1, 2, 3, 4],
+        2_000,
+    );
+    let path = tmp("quarantine");
+    let mut store = ResultStore::open(&path).unwrap();
+    let options = CampaignOptions {
+        jobs: 1, // serial: the panic streak accumulates deterministically
+        live_progress: false,
+        quarantine_after: 3,
+        cancel: None,
+        wall_budget_ms: 0,
+    };
+    let summary = run_campaign_with(&spec1, &mut store, &options).unwrap();
+    assert_eq!(summary.total, 10);
+    assert_eq!(
+        summary.failed, 3,
+        "exactly quarantine_after panics execute before the cell is poisoned"
+    );
+    assert_eq!(summary.quarantined, 2, "the remaining seeds are skipped");
+    assert_eq!(summary.executed, 8, "3 panics + 5 healthy m88k runs");
+    assert!(!summary.cancelled);
+
+    let records = store.load().unwrap();
+    assert_eq!(records.len(), 10, "every grid point leaves a row");
+    let quarantined: Vec<_> = records
+        .iter()
+        .filter(|r| matches!(r.status, RunStatus::Quarantined(_)))
+        .collect();
+    assert_eq!(quarantined.len(), 2);
+    for r in &quarantined {
+        assert_eq!(r.bench, "__panic__");
+        if let RunStatus::Quarantined(key) = &r.status {
+            assert!(key.contains("__panic__|none"), "{key}");
+        }
+    }
+    // Panic rows carry the full configuration echo and a source location.
+    let panics: Vec<_> = records
+        .iter()
+        .filter_map(|r| match &r.status {
+            RunStatus::Panic(d) => Some(d.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(panics.len(), 3);
+    for d in &panics {
+        assert!(d.contains("bench=__panic__"), "{d}");
+        assert!(d.contains("opts=none"), "{d}");
+        assert!(d.contains("seed="), "{d}");
+        assert!(d.contains(".rs:"), "panic location missing: {d}");
+    }
+    // The marker row is persisted…
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\"q\":1"), "{text}");
+    // …and the report layer surfaces the quarantine decision.
+    let summary_text = report::summary(&records);
+    assert!(summary_text.contains("quarantined"), "{summary_text}");
+
+    // A *resumed* campaign with new seeds honors the persisted quarantine:
+    // the poisoned cell's new runs never execute.
+    let spec2 = spec(
+        "rb-quarantine",
+        &["__panic__", "m88k"],
+        &[0, 1, 2, 3, 4, 5, 6],
+        2_000,
+    );
+    let mut store = ResultStore::open(&path).unwrap();
+    let resumed = run_campaign_with(&spec2, &mut store, &options).unwrap();
+    assert_eq!(resumed.total, 14);
+    assert_eq!(resumed.skipped, 10, "all previously recorded rows skip");
+    assert_eq!(
+        resumed.quarantined, 2,
+        "new __panic__ seeds skip unexecuted"
+    );
+    assert_eq!(resumed.executed, 2, "only the new m88k seeds run");
+    assert_eq!(resumed.failed, 0, "no new panic ever executed");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn wall_budget_cancels_gracefully_and_resume_completes_the_sweep() {
+    let s = spec("rb-wall", &["m88k"], &[0, 1, 2, 3], 100_000);
+    let path = tmp("wall");
+    let mut store = ResultStore::open(&path).unwrap();
+    let options = CampaignOptions {
+        jobs: 2,
+        live_progress: false,
+        quarantine_after: 3,
+        cancel: None,
+        wall_budget_ms: 30,
+    };
+    let summary = run_campaign_with(&s, &mut store, &options).unwrap();
+    assert!(summary.cancelled, "the wall budget must trip");
+    let ok_before = store
+        .load()
+        .unwrap()
+        .iter()
+        .filter(|r| r.status.is_ok())
+        .count();
+    assert!(ok_before < 4, "the budget must interrupt the sweep");
+    // In-flight runs were flushed as `cancelled`, not lost or torn.
+    assert!(
+        store
+            .load()
+            .unwrap()
+            .iter()
+            .any(|r| matches!(r.status, RunStatus::Cancelled)),
+        "interrupted runs must leave cancelled rows"
+    );
+
+    // Resume without a budget: cancelled rows do not count as completed,
+    // so the interrupted work re-executes and the sweep finishes.
+    let mut store = ResultStore::open(&path).unwrap();
+    let resumed = run_campaign_with(
+        &s,
+        &mut store,
+        &CampaignOptions {
+            wall_budget_ms: 0,
+            ..options
+        },
+    )
+    .unwrap();
+    assert!(!resumed.cancelled);
+    assert_eq!(resumed.skipped, ok_before);
+    let records = store.load().unwrap();
+    let ok_ids: std::collections::HashSet<&str> = records
+        .iter()
+        .filter(|r| r.status.is_ok())
+        .map(|r| r.run_id.as_str())
+        .collect();
+    assert_eq!(ok_ids.len(), 4, "every grid point eventually completes Ok");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn external_cancel_flag_stops_the_campaign() {
+    let s = spec("rb-cancel", &["m88k"], &[0, 1, 2, 3], 100_000);
+    let path = tmp("cancel");
+    let mut store = ResultStore::open(&path).unwrap();
+    let flag = Arc::new(AtomicBool::new(true)); // pre-raised, e.g. by Ctrl-C
+    let options = CampaignOptions {
+        jobs: 2,
+        live_progress: false,
+        quarantine_after: 3,
+        cancel: Some(flag.clone()),
+        wall_budget_ms: 0,
+    };
+    let summary = run_campaign_with(&s, &mut store, &options).unwrap();
+    assert!(summary.cancelled);
+    assert!(
+        summary.executed < 4,
+        "a pre-raised flag must not let the whole sweep run"
+    );
+    assert!(
+        flag.load(Ordering::Relaxed),
+        "the caller's flag is not reset"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn campaign_fault_injection_runs_are_deterministic() {
+    // The harness executes plain (fault-free) runs; determinism of the
+    // *injection* path is campaign-visible through the sim layer. Two
+    // campaigns over the same spec must produce identical canonical rows —
+    // including after the verify/oracle hardening, which is always on.
+    let s = spec("rb-det", &["m88k", "gen:5"], &[0, 1], 2_000);
+    let (pa, pb) = (tmp("det-a"), tmp("det-b"));
+    let mut sa = ResultStore::open(&pa).unwrap();
+    let mut sb = ResultStore::open(&pb).unwrap();
+    let options = CampaignOptions::standard(2, false);
+    run_campaign_with(&s, &mut sa, &options).unwrap();
+    run_campaign_with(&s, &mut sb, &options).unwrap();
+    let canon = |store: &ResultStore| {
+        let mut rows: Vec<String> = store
+            .load()
+            .unwrap()
+            .iter()
+            .map(tracefill_harness::RunRecord::canonical_json)
+            .collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(canon(&sa), canon(&sb));
+    let _ = std::fs::remove_file(&pa);
+    let _ = std::fs::remove_file(&pb);
+}

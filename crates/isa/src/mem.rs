@@ -139,6 +139,36 @@ impl Memory {
             self.write_u8(addr.wrapping_add(i as u32), b);
         }
     }
+
+    /// Address of the first byte where `self` and `other` differ, or
+    /// `None` when the two memories hold identical contents. Pages absent
+    /// from one side compare as all-zero, so two memories that merely
+    /// touched different (but zero-valued) pages are still equal. Used by
+    /// the differential tests to compare a sim's memory against the
+    /// reference interpreter's.
+    pub fn diff(&self, other: &Memory) -> Option<u32> {
+        let mut pages: Vec<u32> = self
+            .pages
+            .keys()
+            .chain(other.pages.keys())
+            .copied()
+            .collect();
+        pages.sort_unstable();
+        pages.dedup();
+        const ZERO: [u8; PAGE_SIZE] = [0; PAGE_SIZE];
+        for pn in pages {
+            let a = self.pages.get(&pn).map_or(&ZERO, |p| &**p);
+            let b = other.pages.get(&pn).map_or(&ZERO, |p| &**p);
+            if a != b {
+                for i in 0..PAGE_SIZE {
+                    if a[i] != b[i] {
+                        return Some((pn << PAGE_SHIFT) | i as u32);
+                    }
+                }
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +192,22 @@ mod tests {
         m.write_u32(addr, 0xaabb_ccdd);
         assert_eq!(m.read_u32(addr), 0xaabb_ccdd);
         assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn diff_finds_first_difference_and_ignores_zero_pages() {
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        assert_eq!(a.diff(&b), None);
+        // A page that exists on one side but holds only zeros is equal.
+        a.write_u8(0x5000, 0);
+        assert_eq!(a.diff(&b), None);
+        b.write_u32(0x9004, 0x0102_0304);
+        assert_eq!(a.diff(&b), Some(0x9004));
+        a.write_u32(0x9004, 0x0102_0304);
+        assert_eq!(a.diff(&b), None);
+        a.write_u8(0x9007, 0xff);
+        assert_eq!(a.diff(&b), Some(0x9007));
     }
 
     #[test]

@@ -93,8 +93,16 @@ pub struct SimConfig {
     /// Fill unit (including the optimization switches).
     pub fill: FillConfig,
     /// Check every retirement against the functional oracle (cheap; leave
-    /// on outside of benchmarking hot loops).
+    /// on outside of benchmarking hot loops). On divergence the run aborts
+    /// with a structured
+    /// [`DivergenceReport`](crate::oracle::DivergenceReport).
     pub oracle_check: bool,
+    /// Ring-buffer depth for the divergence report's recent-retirement
+    /// echo (0 disables the ring; ignored when `oracle_check` is off).
+    pub divergence_ring: usize,
+    /// Deterministic fault schedule to execute during the run (`None` for
+    /// a clean run). See [`crate::inject`].
+    pub fault_plan: Option<crate::inject::FaultPlan>,
     /// Pipeline event-trace depth: keep the most recent N events in
     /// [`Simulator::trace`](crate::Simulator::trace) (0 disables tracing).
     pub trace_depth: usize,
@@ -119,8 +127,16 @@ impl Default for SimConfig {
             ras_depth: 32,
             target_buffer: TargetBufferConfig::default(),
             tcache: TraceCacheConfig::default(),
-            fill: FillConfig::default(),
+            // Oracle runs (the default) also verify every optimized
+            // segment in release builds; raw-throughput campaigns turn
+            // both off together.
+            fill: FillConfig {
+                strict_verify: true,
+                ..FillConfig::default()
+            },
             oracle_check: true,
+            divergence_ring: 16,
+            fault_plan: None,
             trace_depth: 0,
         }
     }

@@ -37,7 +37,15 @@ impl Simulator {
         ];
         let dirs = [preds[0].taken, preds[1].taken, preds[2].taken];
 
-        let hit = self.tcache.lookup(pc, &dirs);
+        // A live fault plan may corrupt the *fetched copy* of a hit line
+        // (a read-path strike); the cached line itself is untouched.
+        let hit = self
+            .tcache
+            .lookup(pc, &dirs)
+            .map(|h| match self.injector.as_mut() {
+                Some(inj) => inj.on_lookup(h, self.cycle),
+                None => h,
+            });
         let bundle = match hit {
             Some(hit) => self.fetch_from_line(hit, &preds),
             None => {
@@ -193,6 +201,7 @@ impl Simulator {
                 miss_head: false,
                 inactive: in_shadow,
                 branch: branch_meta,
+                seg: Some(hit.seg.clone()),
             });
         }
 
@@ -344,6 +353,7 @@ impl Simulator {
                 miss_head: i == 0,
                 inactive: false,
                 branch: branch_meta,
+                seg: None,
             });
             if stop {
                 break;

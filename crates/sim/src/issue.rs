@@ -218,6 +218,7 @@ impl Simulator {
             mem_deferred: in_shadow && slot.op.access_size().is_some(),
             bypass_delayed: false,
             fu_executed: false,
+            seg: slot.seg.clone(),
         };
 
         // Checkpoints for active branches and indirect jumps.

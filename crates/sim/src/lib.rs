@@ -66,8 +66,10 @@ pub mod config;
 pub mod cpi;
 mod exec;
 mod frontend;
+pub mod inject;
 mod issue;
 pub mod machine;
+pub mod oracle;
 pub mod physreg;
 mod recover;
 mod retire;
@@ -77,5 +79,7 @@ pub mod uop;
 
 pub use config::SimConfig;
 pub use cpi::CpiStack;
+pub use inject::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
 pub use machine::{RunExit, SimError, Simulator};
+pub use oracle::{DivergenceReport, RetireEcho, SegSource};
 pub use stats::{Report, Stats};

@@ -18,6 +18,8 @@
 
 use crate::config::SimConfig;
 use crate::cpi::{CpiFlags, CpiStack, StallCause};
+use crate::inject::FaultInjector;
+use crate::oracle::{DivergenceReport, RetireEcho};
 use crate::physreg::{PhysFile, PhysReg};
 use crate::stats::{Report, Stats};
 use crate::tracelog::TraceLog;
@@ -111,17 +113,15 @@ pub enum RunExit {
     Cancelled,
 }
 
-/// A fatal simulation error (always a simulator bug or a bad program).
+/// A fatal simulation error (always a simulator bug, an injected fault
+/// the checkers caught, or a bad program).
 #[derive(Debug, Clone)]
 pub enum SimError {
     /// The pipeline retired an architectural effect the oracle disagrees
-    /// with — the lockstep check failed.
-    OracleMismatch {
-        /// Cycle of the divergence.
-        cycle: u64,
-        /// Description of the mismatch.
-        detail: String,
-    },
+    /// with (or a strict-mode segment verification failed) — the full
+    /// structured report names the cycle, the expected/actual effects,
+    /// the recent-retirement ring and the originating trace segment.
+    Divergence(Box<DivergenceReport>),
     /// The machine stopped making progress.
     Deadlock {
         /// Cycle at which the watchdog fired.
@@ -133,12 +133,20 @@ pub enum SimError {
     Oracle(tracefill_isa::interp::InterpError),
 }
 
+impl SimError {
+    /// The divergence report, when this error is a lockstep divergence.
+    pub fn divergence(&self) -> Option<&DivergenceReport> {
+        match self {
+            SimError::Divergence(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::OracleMismatch { cycle, detail } => {
-                write!(f, "oracle mismatch at cycle {cycle}: {detail}")
-            }
+            SimError::Divergence(report) => write!(f, "{report}"),
             SimError::Deadlock { cycle, retired } => {
                 write!(
                     f,
@@ -229,6 +237,13 @@ pub struct Simulator {
     pub(crate) last_retire_cycle: u64,
     pub(crate) trace: TraceLog,
 
+    // Robustness.
+    /// Ring buffer of recent retirements for divergence reports (bounded
+    /// by `cfg.divergence_ring`).
+    pub(crate) retire_ring: VecDeque<RetireEcho>,
+    /// Deterministic fault injector, when the config carries a plan.
+    pub(crate) injector: Option<FaultInjector>,
+
     // Observability.
     pub(crate) cpi: CpiStack,
     pub(crate) cpi_flags: CpiFlags,
@@ -297,6 +312,8 @@ impl Simulator {
             stats: Stats::default(),
             last_retire_cycle: 0,
             trace: TraceLog::new(cfg.trace_depth),
+            retire_ring: VecDeque::new(),
+            injector: cfg.fault_plan.clone().map(FaultInjector::new),
             cpi: CpiStack::new(cfg.fetch_width),
             cpi_flags: CpiFlags::default(),
             last_fetch_tc: false,
@@ -318,6 +335,29 @@ impl Simulator {
     /// Current cycle.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// The committed architectural value of a register (reads through the
+    /// rename table — only meaningful between cycles or after halt, when
+    /// no speculative mappings are outstanding ahead of the retire point).
+    pub fn arch_reg(&self, r: ArchReg) -> u32 {
+        self.phys.value(self.rat[r.index()])
+    }
+
+    /// The architectural memory (stores commit here at retirement).
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// How the program halted, if it has.
+    pub fn halted(&self) -> Option<Halt> {
+        self.halted
+    }
+
+    /// Faults that actually fired from the configured
+    /// [`FaultPlan`](crate::inject::FaultPlan) (0 without a plan).
+    pub fn faults_fired(&self) -> u64 {
+        self.injector.as_ref().map_or(0, FaultInjector::fired)
     }
 
     /// The pipeline event trace (empty unless
@@ -344,6 +384,9 @@ impl Simulator {
     pub fn report(&self) -> Report {
         let mut metrics = self.metrics.clone();
         metrics.merge(self.fill.telemetry());
+        if let Some(inj) = &self.injector {
+            metrics.merge(inj.metrics());
+        }
         metrics.add("retire.moves", self.stats.retired_moves);
         metrics.add("retire.reassoc", self.stats.retired_reassoc);
         metrics.add("retire.scadd", self.stats.retired_scadd);
@@ -374,10 +417,11 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::OracleMismatch`] if a retirement diverges from
-    /// the functional oracle (a simulator bug), [`SimError::Deadlock`] if
-    /// no instruction retires for a long stretch, or [`SimError::Oracle`]
-    /// for faults in the program itself.
+    /// Returns [`SimError::Divergence`] if a retirement diverges from
+    /// the functional oracle (a simulator bug or an injected fault the
+    /// checkers caught), [`SimError::Deadlock`] if no instruction retires
+    /// for a long stretch, or [`SimError::Oracle`] for faults in the
+    /// program itself.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunExit, SimError> {
         let budget = self.cycle.saturating_add(max_cycles);
         while self.cycle < budget {

@@ -2,12 +2,56 @@
 //! and bias training, and feeding the fill unit.
 
 use crate::machine::{SimError, Simulator};
+use crate::oracle::{DivergenceReport, RetireEcho, SegSource};
 use tracefill_core::builder::FillInput;
 use tracefill_isa::syscall;
 use tracefill_isa::ArchReg;
 use tracefill_isa::Op;
 
 impl Simulator {
+    /// Echoes the about-to-retire uop into the divergence ring buffer
+    /// (bounded by [`SimConfig::divergence_ring`](crate::SimConfig)), so a
+    /// later divergence report can show the trail that led to it.
+    fn echo_retire(&mut self, id: u64) {
+        if self.cfg.divergence_ring == 0 {
+            return;
+        }
+        let u = &self.uops[&id];
+        let echo = RetireEcho {
+            cycle: self.cycle,
+            seq: self.stats.retired,
+            pc: u.pc,
+            instr: u.instr,
+            from_tc: u.from_tc,
+            seg_id: u.seg.as_ref().map(|s| s.provenance.seg_id),
+        };
+        if self.retire_ring.len() >= self.cfg.divergence_ring {
+            self.retire_ring.pop_front();
+        }
+        self.retire_ring.push_back(echo);
+    }
+
+    /// Builds a structured divergence error for the retiring uop,
+    /// attributing it to the originating trace segment when there is one.
+    fn divergence(
+        &self,
+        id: u64,
+        kind: &'static str,
+        expected: String,
+        actual: String,
+    ) -> SimError {
+        let u = &self.uops[&id];
+        SimError::Divergence(Box::new(DivergenceReport {
+            cycle: self.cycle,
+            seq: self.stats.retired,
+            pc: u.pc,
+            kind,
+            expected,
+            actual,
+            recent: self.retire_ring.iter().cloned().collect(),
+            provenance: u.seg.as_deref().map(SegSource::of),
+        }))
+    }
     /// Retire phase: up to `fetch_width` completed head-of-window uops.
     pub(crate) fn phase_retire(&mut self) -> Result<(), SimError> {
         for _ in 0..self.cfg.fetch_width {
@@ -37,15 +81,62 @@ impl Simulator {
 
             self.retire_one(head)?;
         }
-        // Segments whose fill latency elapsed enter the trace cache.
-        for seg in self.fill.drain_ready(self.cycle) {
+        // Segments whose fill latency elapsed enter the trace cache,
+        // routed through the fault injector when a plan is active.
+        let ready = self.fill.drain_ready(self.cycle);
+        let incoming = match self.injector.as_mut() {
+            Some(inj) => {
+                let mut v: Vec<_> = ready
+                    .into_iter()
+                    .filter_map(|seg| inj.on_fill(seg, self.cycle))
+                    .collect();
+                v.extend(inj.release_stalled(self.cycle));
+                v
+            }
+            None => ready,
+        };
+        for seg in incoming {
+            // A segment carrying an injected-fault note is re-checked at
+            // the cache boundary when strict verification is on: a caught
+            // corruption counts as *detected* and never becomes cache
+            // state. (A fault the check accepts — e.g. a truncation to a
+            // valid prefix — is architecturally masked and flows through.)
+            if seg.provenance.fault.is_some()
+                && self.fill.config().strict_verify
+                && tracefill_core::opt::strict_check(&seg).is_err()
+            {
+                self.metrics.inc("fault.detected.fill_verify");
+                continue;
+            }
             self.tcache.insert(seg);
+        }
+        // The fill unit's own always-on verifier rejecting a segment is a
+        // divergence in its own right: an optimization pass broke the
+        // segment, even if the (dropped) segment never misled fetch.
+        if let Some(vf) = self.fill.take_verify_failure() {
+            return Err(SimError::Divergence(Box::new(DivergenceReport {
+                cycle: self.cycle,
+                seq: self.stats.retired,
+                pc: vf.start_pc,
+                kind: "segment-verify",
+                expected: "optimized segment equivalent to its original".to_string(),
+                actual: vf.detail,
+                recent: self.retire_ring.iter().cloned().collect(),
+                provenance: Some(SegSource {
+                    seg_id: vf.seg_id,
+                    start_pc: vf.start_pc,
+                    len: vf.len,
+                    passes: vf.passes,
+                    fault: vf.fault,
+                }),
+            })));
         }
         Ok(())
     }
 
     /// Retires one ordinary uop.
     fn retire_one(&mut self, id: u64) -> Result<(), SimError> {
+        self.echo_retire(id);
         // Oracle lockstep first: any divergence is a simulator bug.
         if self.cfg.oracle_check {
             self.check_against_oracle(id)?;
@@ -152,6 +243,7 @@ impl Simulator {
     /// Retires a serializing system op (`SYSCALL`/`BREAK`), executing it
     /// against architectural state.
     fn retire_system(&mut self, id: u64) -> Result<(), SimError> {
+        self.echo_retire(id);
         let u = self.uops.get(&id).expect("retiring uop exists");
         // Architectural reads: all older uops retired, so every live
         // mapping is ready. The syscall itself renamed $v0 at issue, so
@@ -180,10 +272,12 @@ impl Simulator {
                     }
                 }
                 Err(e) => {
-                    return Err(SimError::OracleMismatch {
-                        cycle: self.cycle,
-                        detail: format!("unknown syscall at {pc:#x}: {e}"),
-                    })
+                    return Err(self.divergence(
+                        id,
+                        "syscall",
+                        "a recognized syscall service".to_string(),
+                        format!("unknown syscall at {pc:#x}: {e}"),
+                    ))
                 }
             }
         } else {
@@ -194,22 +288,23 @@ impl Simulator {
         if self.cfg.oracle_check {
             let r = self.oracle.step().map_err(SimError::Oracle)?;
             if r.pc != pc || r.instr != instr {
-                return Err(SimError::OracleMismatch {
-                    cycle: self.cycle,
-                    detail: format!(
-                        "system op stream mismatch: sim {pc:#x} {instr}, oracle {:#x} {}",
-                        r.pc, r.instr
-                    ),
-                });
+                return Err(self.divergence(
+                    id,
+                    "stream",
+                    format!("{:#010x} `{}`", r.pc, r.instr),
+                    format!("{pc:#010x} `{instr}`"),
+                ));
             }
             if let Some((reg, val)) = r.reg_write {
                 let p = self.rat[reg.index()];
                 let got = self.phys.value(p);
                 if got != val {
-                    return Err(SimError::OracleMismatch {
-                        cycle: self.cycle,
-                        detail: format!("syscall wrote {reg}={got:#x}, oracle expects {val:#x}"),
-                    });
+                    return Err(self.divergence(
+                        id,
+                        "syscall",
+                        format!("{reg} = {val:#x}"),
+                        format!("{reg} = {got:#x}"),
+                    ));
                 }
             }
         } else {
@@ -255,23 +350,23 @@ impl Simulator {
     fn check_against_oracle(&mut self, id: u64) -> Result<(), SimError> {
         let r = self.oracle.step().map_err(SimError::Oracle)?;
         let u = &self.uops[&id];
-        let fail = |detail: String| SimError::OracleMismatch {
-            cycle: self.cycle,
-            detail,
-        };
         if r.pc != u.pc || r.instr != u.instr {
-            return Err(fail(format!(
-                "stream mismatch: sim retires {:#x} `{}`, oracle executes {:#x} `{}`",
-                u.pc, u.instr, r.pc, r.instr
-            )));
+            return Err(self.divergence(
+                id,
+                "stream",
+                format!("{:#010x} `{}`", r.pc, r.instr),
+                format!("{:#010x} `{}`", u.pc, u.instr),
+            ));
         }
         // Register write.
         let sim_write = u.dest.map(|(reg, p)| (reg, self.phys.value(p)));
         if sim_write != r.reg_write {
-            return Err(fail(format!(
-                "register effect mismatch at {:#x} `{}`: sim {:?}, oracle {:?}",
-                u.pc, u.instr, sim_write, r.reg_write
-            )));
+            return Err(self.divergence(
+                id,
+                "register-effect",
+                fmt_write(r.reg_write),
+                fmt_write(sim_write),
+            ));
         }
         // Store effect.
         let sim_store = u
@@ -280,29 +375,54 @@ impl Simulator {
             .filter(|m| !m.is_load)
             .map(|m| (m.addr.unwrap_or(0), m.size, m.value));
         if sim_store != r.store {
-            return Err(fail(format!(
-                "store effect mismatch at {:#x} `{}`: sim {:?}, oracle {:?}",
-                u.pc, u.instr, sim_store, r.store
-            )));
+            return Err(self.divergence(
+                id,
+                "store-effect",
+                fmt_store(r.store),
+                fmt_store(sim_store),
+            ));
         }
         // Branch direction.
         let sim_taken = u.branch.as_ref().and_then(|b| b.actual_taken);
         if u.op.is_cond_branch() && sim_taken != r.taken {
-            return Err(fail(format!(
-                "branch direction mismatch at {:#x} `{}`: sim {:?}, oracle {:?}",
-                u.pc, u.instr, sim_taken, r.taken
-            )));
+            return Err(self.divergence(
+                id,
+                "branch-direction",
+                format!("{:?}", r.taken),
+                format!("{sim_taken:?}"),
+            ));
         }
         // Control flow of indirect jumps.
         if u.op.is_indirect() {
             let sim_next = u.branch.as_ref().and_then(|b| b.actual_next);
             if sim_next != Some(r.next_pc) {
-                return Err(fail(format!(
-                    "indirect target mismatch at {:#x} `{}`: sim {:?}, oracle {:#x}",
-                    u.pc, u.instr, sim_next, r.next_pc
-                )));
+                return Err(self.divergence(
+                    id,
+                    "indirect-target",
+                    format!("next pc {:#010x}", r.next_pc),
+                    match sim_next {
+                        Some(n) => format!("next pc {n:#010x}"),
+                        None => "unresolved".to_string(),
+                    },
+                ));
             }
         }
         Ok(())
+    }
+}
+
+/// Renders an optional register write for a divergence report.
+fn fmt_write(w: Option<(ArchReg, u32)>) -> String {
+    match w {
+        Some((reg, val)) => format!("{reg} = {val:#x}"),
+        None => "no register write".to_string(),
+    }
+}
+
+/// Renders an optional store effect for a divergence report.
+fn fmt_store(s: Option<(u32, u32, u32)>) -> String {
+    match s {
+        Some((addr, size, value)) => format!("[{addr:#010x}] <- {value:#x} ({size}B)"),
+        None => "no store".to_string(),
     }
 }

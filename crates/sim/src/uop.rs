@@ -1,7 +1,8 @@
 //! In-flight micro-operations and fetch bundles.
 
 use crate::physreg::PhysReg;
-use tracefill_core::segment::{ScAdd, SrcRef};
+use std::sync::Arc;
+use tracefill_core::segment::{ScAdd, Segment, SrcRef};
 use tracefill_isa::{ArchReg, Instr, Op};
 use tracefill_uarch::pht::{HistorySnapshot, Prediction};
 use tracefill_uarch::ras::RasSnapshot;
@@ -110,6 +111,11 @@ pub struct Uop {
     pub bypass_delayed: bool,
     /// Ran through a functional unit (Figure 7 denominator).
     pub fu_executed: bool,
+    /// The trace segment this uop was fetched from (`None` on the
+    /// instruction-cache path). Carried to retirement so a lockstep
+    /// divergence can name the originating segment and the passes that
+    /// touched it.
+    pub seg: Option<Arc<Segment>>,
 }
 
 impl Uop {
@@ -186,6 +192,9 @@ pub struct FetchSlot {
     pub inactive: bool,
     /// Branch metadata.
     pub branch: Option<BranchFetchMeta>,
+    /// The trace segment this slot came from (`None` on the
+    /// instruction-cache path); see [`Uop::seg`].
+    pub seg: Option<Arc<Segment>>,
 }
 
 /// Where fetch resumes after a shadow context is activated.
@@ -246,6 +255,7 @@ mod tests {
             mem_deferred: false,
             bypass_delayed: false,
             fu_executed: false,
+            seg: None,
         };
         assert!(u.needs_checkpoint());
         assert!(!u.is_done());

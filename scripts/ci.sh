@@ -57,4 +57,18 @@ cargo run --release -q -p tracefill-bench --bin tracefill -- \
 cargo run --release -q -p tracefill-bench --example validate_trace -- \
     report "$SMOKE_DIR/smoke.stats.json"
 
+echo "==> lockstep verify smoke (full suite x every opt set, oracle + strict verify)"
+cargo run --release -q -p tracefill-bench --bin tracefill -- \
+    verify --budget 5000 > "$SMOKE_DIR/verify.txt"
+grep -q "0 diverged" "$SMOKE_DIR/verify.txt"
+
+echo "==> fault-injection determinism (same seed => byte-identical SDC table)"
+cargo run --release -q -p tracefill-bench --bin tracefill -- \
+    inject --seed 1 --trials 10 --json > "$SMOKE_DIR/inject1.json"
+cargo run --release -q -p tracefill-bench --bin tracefill -- \
+    inject --seed 1 --trials 10 --json > "$SMOKE_DIR/inject2.json"
+cmp "$SMOKE_DIR/inject1.json" "$SMOKE_DIR/inject2.json"
+# With all checkers armed (the default), nothing slips through silently.
+grep -q '"silent": 0' "$SMOKE_DIR/inject1.json"
+
 echo "==> OK"

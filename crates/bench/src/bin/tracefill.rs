@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! tracefill run <file.s> [--opts all|none|moves,reassoc,scadd,placement,cse]
+//!                        [--replace lru|srrip|trrip]
 //!                        [--input 1,2,3] [--max-cycles N] [--json]
 //!                        [--stats-json <file>]  # write the full report JSON
 //!                        [--trace N]   # print the last N pipeline events
@@ -17,16 +18,21 @@
 //! tracefill inject [--bench NAME] [--opts SPEC[:SPEC...]] [--seed N] [--trials N]
 //!                  [--faults N] [--horizon N] [--kinds a,b,c] [--detect strict|oracle|none]
 //!                  [--budget N] [--json]
+//! tracefill adapt [--bench NAME[,NAME...]] [--opts SPEC[:SPEC...]]
+//!                 [--mode egreedy[:MILLI]|ucb[:MILLI]|static:SPEC] [--seed N]
+//!                 [--replace lru|srrip|trrip] [--latency N] [--warmup N]
+//!                 [--budget N] [--epoch N] [--max-cycles N] [--json] [--out <file>]
 //! ```
 //!
 //! Numeric flags are parsed strictly: a malformed value is a usage error
 //! (exit 2), never a silent fall-back to the default.
 
 use std::process::exit;
-use tracefill_core::config::OptConfig;
+use tracefill_core::config::{ControllerMode, OptConfig, ReplacementKind};
 use tracefill_harness::grid::parse_opt_spec;
 use tracefill_harness::{
-    report, run_campaign_with, store, CampaignOptions, CampaignSpec, ResultStore,
+    report, run_adapt, run_campaign_with, store, AdaptSpec, CampaignOptions, CampaignSpec,
+    ResultStore,
 };
 use tracefill_isa::asm::assemble;
 use tracefill_isa::interp::{Halt, Interp};
@@ -38,7 +44,7 @@ use tracefill_util::Json;
 fn usage() -> ! {
     eprintln!(
         "usage:
-  tracefill run <file.s> [--opts SPEC] [--input a,b,c] [--max-cycles N] [--json] [--stats-json <file>] [--trace N]
+  tracefill run <file.s> [--opts SPEC] [--replace lru|srrip|trrip] [--input a,b,c] [--max-cycles N] [--json] [--stats-json <file>] [--trace N]
   tracefill trace <file.s> [--out <file>] [--format jsonl|chrome] [--depth N] [--opts SPEC] [--input a,b,c] [--max-cycles N]
   tracefill interp <file.s> [--input a,b,c]
   tracefill characterize <file.s>
@@ -50,9 +56,13 @@ fn usage() -> ! {
   tracefill inject [--bench NAME] [--opts SPEC[:SPEC...]] [--seed N] [--trials N]
                    [--faults N] [--horizon N] [--kinds a,b,c] [--detect strict|oracle|none]
                    [--budget N] [--json]
+  tracefill adapt [--bench NAME[,NAME...]] [--opts SPEC[:SPEC...]]
+                  [--mode egreedy[:MILLI]|ucb[:MILLI]|static:SPEC] [--seed N]
+                  [--replace lru|srrip|trrip] [--latency N] [--warmup N]
+                  [--budget N] [--epoch N] [--max-cycles N] [--json] [--out <file>]
 
 SPEC is `all`, `none`, or a comma list of: moves reassoc scadd placement cse
-`verify` and `inject` take several SPECs separated by `:`"
+`verify`, `inject` and `adapt` take several SPECs separated by `:`"
     );
     exit(2);
 }
@@ -71,6 +81,17 @@ fn parse_opt_list(list: &str) -> Vec<(String, OptConfig)> {
         .filter(|s| !s.is_empty())
         .map(|s| (s.to_string(), parse_opts(s)))
         .collect()
+}
+
+/// The `--replace` flag: a trace-cache replacement policy (default LRU).
+fn parse_replace(args: &[String]) -> ReplacementKind {
+    match flag_value(args, "--replace") {
+        None => ReplacementKind::Lru,
+        Some(v) => ReplacementKind::parse(&v).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2);
+        }),
+    }
 }
 
 /// The value following `name`, if the flag is present. A flag given
@@ -129,10 +150,11 @@ fn cmd_run(args: &[String]) {
     let json = args.iter().any(|a| a == "--json");
     let trace_depth: usize = parse_flag(args, "--trace", 0);
 
-    let cfg = SimConfig {
+    let mut cfg = SimConfig {
         trace_depth,
         ..SimConfig::with_opts(opts)
     };
+    cfg.tcache.policy = parse_replace(args);
     let mut sim = Simulator::with_io(&prog, cfg, parse_input(args));
     let exit_state = sim.run(max_cycles).unwrap_or_else(|e| {
         eprintln!("simulation error: {e}");
@@ -627,6 +649,117 @@ fn cmd_inject(args: &[String]) {
     }
 }
 
+/// Static-vs-adaptive comparison: for each benchmark, run every static
+/// opt set, then one adaptive run with the online pass controller, and
+/// report whether adaptation reaches the best static configuration. The
+/// JSON report is deterministic — two same-seed invocations emit
+/// byte-identical bytes.
+fn cmd_adapt(args: &[String]) {
+    let mut spec = AdaptSpec::default();
+    if let Some(benches) = flag_value(args, "--bench") {
+        if benches != "all" {
+            spec.benchmarks = benches
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+        }
+    }
+    if let Some(opts) = flag_value(args, "--opts") {
+        spec.opt_specs = opts
+            .split(':')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+    }
+    if let Some(mode) = flag_value(args, "--mode") {
+        spec.mode = ControllerMode::parse(&mode).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2);
+        });
+    }
+    spec.seed = parse_flag(args, "--seed", spec.seed);
+    spec.policy = parse_replace(args);
+    spec.fill_latency = parse_flag(args, "--latency", spec.fill_latency);
+    spec.warmup = parse_flag(args, "--warmup", spec.warmup);
+    spec.budget = parse_flag(args, "--budget", spec.budget);
+    spec.epoch_fills = parse_flag::<u64>(args, "--epoch", spec.epoch_fills).max(1);
+    spec.max_cycles = parse_flag(args, "--max-cycles", spec.max_cycles);
+
+    let report = run_adapt(&spec).unwrap_or_else(|e| {
+        eprintln!("adapt failed: {e}");
+        exit(1);
+    });
+    let text = report.dump_pretty(2) + "\n";
+    if let Some(out) = flag_value(args, "--out") {
+        std::fs::write(&out, &text).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            exit(1);
+        });
+        eprintln!("wrote adapt report -> {out}");
+    }
+    if args.iter().any(|a| a == "--json") {
+        print!("{text}");
+        return;
+    }
+
+    // Human-readable table from the deterministic report.
+    println!(
+        "adapt: controller={} policy={} seed={} warmup={} budget={} epoch={}",
+        spec.mode.label(),
+        spec.policy.name(),
+        spec.seed,
+        spec.warmup,
+        spec.budget,
+        spec.epoch_fills
+    );
+    println!(
+        "{:8} {:>10} {:<12} {:>10} {:>8}",
+        "bench", "best IPC", "(opts)", "adapt IPC", "delta"
+    );
+    let rows = report.get("benchmarks").and_then(Json::as_arr);
+    for row in rows.into_iter().flatten() {
+        let bench = row.get("bench").and_then(Json::as_str).unwrap_or("?");
+        let best = row.get("best_static");
+        let best_ipc = best
+            .and_then(|b| b.get("ipc"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let best_opts = best
+            .and_then(|b| b.get("opts"))
+            .and_then(Json::as_str)
+            .unwrap_or("?");
+        let adaptive_ipc = row
+            .get("adaptive")
+            .and_then(|a| a.get("ipc"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        println!(
+            "{:8} {:>10.3} {:<12} {:>10.3} {:>+7.1}%",
+            bench,
+            best_ipc,
+            best_opts,
+            adaptive_ipc,
+            (adaptive_ipc / best_ipc.max(1e-12) - 1.0) * 100.0
+        );
+    }
+    if let Some(s) = report.get("summary") {
+        let mb = s
+            .get("mean_best_static_ipc")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let ma = s
+            .get("mean_adaptive_ipc")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let wins = s.get("adaptive_wins").and_then(Json::as_u64).unwrap_or(0);
+        let n = s.get("benches").and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "mean best-static IPC {mb:.3}, mean adaptive IPC {ma:.3} ({wins}/{n} benches at or above best static)"
+        );
+    }
+}
+
 fn cmd_report(args: &[String]) {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         usage()
@@ -676,6 +809,7 @@ fn main() {
         Some("report") => cmd_report(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("inject") => cmd_inject(&args[1..]),
+        Some("adapt") => cmd_adapt(&args[1..]),
         _ => usage(),
     }
 }

@@ -1,5 +1,7 @@
 //! Configuration of the fill unit, trace cache and optimization passes.
 
+pub use tracefill_policy::{ControllerConfig, ControllerMode, PassMask, ReplacementKind};
+
 /// Which dynamic trace optimizations the fill unit applies, plus their
 /// parameters (paper §4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +87,69 @@ impl OptConfig {
             ..OptConfig::none()
         }
     }
+
+    /// Parses an opt-set spec (`all`, `none`, or a comma list like
+    /// `moves,scadd`) into a configuration with the paper's parameters.
+    ///
+    /// This is the single opt-set name parser for the workspace — the
+    /// `tracefill` CLI and the harness grid both delegate here, which in
+    /// turn delegates token handling to [`PassMask::parse`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending token.
+    pub fn from_name(spec: &str) -> Result<OptConfig, String> {
+        PassMask::parse(spec).map(OptConfig::from_mask)
+    }
+
+    /// The configuration enabling exactly the passes in `mask`, with the
+    /// paper's parameters for each.
+    pub fn from_mask(mask: PassMask) -> OptConfig {
+        OptConfig::none().with_mask(mask)
+    }
+
+    /// The enabled passes as a [`PassMask`] (parameters are dropped).
+    pub fn to_mask(&self) -> PassMask {
+        let mut m = PassMask::NONE;
+        for (on, bit) in [
+            (self.moves, PassMask::MOVES),
+            (self.reassoc, PassMask::REASSOC),
+            (self.scadd, PassMask::SCADD),
+            (self.placement, PassMask::PLACEMENT),
+            (self.cse, PassMask::CSE),
+        ] {
+            if on {
+                m = m.union(bit);
+            }
+        }
+        m
+    }
+
+    /// This configuration with its pass enables overridden by `mask`,
+    /// keeping all pass parameters (`scadd_max_shift`,
+    /// `reassoc_cross_block_only`) untouched. The controller applies its
+    /// current arm through this, so `with_mask(self.to_mask())` is the
+    /// identity.
+    pub fn with_mask(&self, mask: PassMask) -> OptConfig {
+        OptConfig {
+            moves: mask.contains(PassMask::MOVES),
+            reassoc: mask.contains(PassMask::REASSOC),
+            scadd: mask.contains(PassMask::SCADD),
+            placement: mask.contains(PassMask::PLACEMENT),
+            cse: mask.contains(PassMask::CSE),
+            ..*self
+        }
+    }
+
+    /// The canonical opt-set label (`none`, `all`, or a comma list) —
+    /// the inverse of [`OptConfig::from_name`] for paper-parameter
+    /// configurations.
+    pub fn label(&self) -> String {
+        if *self == OptConfig::all() {
+            return "all".to_string();
+        }
+        self.to_mask().label()
+    }
 }
 
 impl Default for OptConfig {
@@ -162,6 +227,12 @@ pub struct FillConfig {
     ///
     /// [`FillUnit::take_verify_failure`]: crate::fill::FillUnit::take_verify_failure
     pub strict_verify: bool,
+    /// The online pass controller (`tracefill-policy`). Off by default:
+    /// the fill unit applies [`FillConfig::opts`] unconditionally, exactly
+    /// as the paper does. When enabled, the controller re-chooses the
+    /// enabled pass subset every [`ControllerConfig::epoch_fills`]
+    /// segments; pass *parameters* still come from [`FillConfig::opts`].
+    pub controller: ControllerConfig,
 }
 
 impl Default for FillConfig {
@@ -176,6 +247,7 @@ impl Default for FillConfig {
             opts: OptConfig::none(),
             clusters: ClusterConfig::default(),
             strict_verify: false,
+            controller: ControllerConfig::default(),
         }
     }
 }
@@ -187,6 +259,9 @@ pub struct TraceCacheConfig {
     pub entries: u32,
     /// Associativity (the paper: 4).
     pub ways: u32,
+    /// Replacement policy (`tracefill-policy`). LRU by default — the
+    /// paper machine's behavior.
+    pub policy: ReplacementKind,
 }
 
 impl Default for TraceCacheConfig {
@@ -194,6 +269,7 @@ impl Default for TraceCacheConfig {
         TraceCacheConfig {
             entries: 2048,
             ways: 4,
+            policy: ReplacementKind::Lru,
         }
     }
 }
@@ -241,5 +317,55 @@ mod tests {
         assert!(!OptConfig::only_moves().scadd);
         assert!(OptConfig::all().placement);
         assert_eq!(OptConfig::default(), OptConfig::none());
+    }
+
+    #[test]
+    fn from_name_matches_constructors() {
+        assert_eq!(OptConfig::from_name("none").unwrap(), OptConfig::none());
+        assert_eq!(OptConfig::from_name("all").unwrap(), OptConfig::all());
+        assert_eq!(
+            OptConfig::from_name("moves").unwrap(),
+            OptConfig::only_moves()
+        );
+        assert_eq!(
+            OptConfig::from_name("reassoc").unwrap(),
+            OptConfig::only_reassoc()
+        );
+        assert_eq!(
+            OptConfig::from_name("scadd").unwrap(),
+            OptConfig::only_scadd()
+        );
+        assert_eq!(
+            OptConfig::from_name("placement").unwrap(),
+            OptConfig::only_placement()
+        );
+        assert!(OptConfig::from_name("frob").is_err());
+    }
+
+    #[test]
+    fn mask_roundtrip_preserves_params() {
+        let mut cfg = OptConfig::all();
+        cfg.scadd_max_shift = 5;
+        cfg.reassoc_cross_block_only = false;
+        let back = cfg.with_mask(cfg.to_mask());
+        assert_eq!(back, cfg, "with_mask(to_mask()) is the identity");
+        let off = cfg.with_mask(PassMask::NONE);
+        assert!(!off.moves && !off.reassoc && !off.scadd && !off.placement && !off.cse);
+        assert_eq!(off.scadd_max_shift, 5, "parameters survive mask changes");
+    }
+
+    #[test]
+    fn label_roundtrips_through_from_name() {
+        for spec in ["none", "all", "moves", "moves,scadd", "cse"] {
+            let cfg = OptConfig::from_name(spec).unwrap();
+            assert_eq!(cfg.label(), spec);
+            assert_eq!(OptConfig::from_name(&cfg.label()).unwrap(), cfg);
+        }
+    }
+
+    #[test]
+    fn policy_defaults_preserve_paper_machine() {
+        assert_eq!(TraceCacheConfig::default().policy, ReplacementKind::Lru);
+        assert_eq!(FillConfig::default().controller.mode, ControllerMode::Off);
     }
 }

@@ -13,6 +13,7 @@ use crate::opt::{self, OptCounts};
 use crate::segment::{SegEnd, Segment};
 use std::collections::VecDeque;
 use std::sync::Arc;
+use tracefill_policy::PassController;
 use tracefill_util::Registry;
 
 /// Histogram bucket bounds for finalized-segment lengths (instructions).
@@ -97,12 +98,16 @@ pub struct FillUnit {
     /// First strict-verification failure, if any (see
     /// [`FillConfig::strict_verify`]).
     verify_failure: Option<VerifyFailure>,
+    /// The online pass controller, when [`FillConfig::controller`] enables
+    /// one. `None` reproduces the static machine exactly.
+    controller: Option<PassController>,
 }
 
 impl FillUnit {
     /// Creates a fill unit with an empty pipeline.
     pub fn new(config: FillConfig) -> FillUnit {
         FillUnit {
+            controller: PassController::new(config.controller),
             config,
             builder: SegmentBuilder::new(),
             pipe: VecDeque::new(),
@@ -133,6 +138,9 @@ impl FillUnit {
 
     /// Offers one retired instruction at cycle `now`.
     pub fn retire(&mut self, input: FillInput, now: u64) {
+        if let Some(c) = self.controller.as_mut() {
+            c.on_retire(now);
+        }
         // Fetch-aligned fill: this address is one the fetch engine looked
         // up and missed; start the next segment exactly here so the fill
         // converges onto the fetch-address chain.
@@ -161,12 +169,14 @@ impl FillUnit {
         };
         seg.provenance.seg_id = self.next_seg_id;
         self.next_seg_id += 1;
-        let counts = opt::apply_all_telemetry(
-            &mut seg,
-            &self.config.opts,
-            &self.config.clusters,
-            &mut self.telemetry,
-        );
+        // The controller's current arm gates which passes run this epoch;
+        // pass parameters always come from the static configuration.
+        let opts = match &self.controller {
+            Some(c) => self.config.opts.with_mask(c.current()),
+            None => self.config.opts,
+        };
+        let counts =
+            opt::apply_all_telemetry(&mut seg, &opts, &self.config.clusters, &mut self.telemetry);
         self.stats.segments += 1;
         self.stats.slots += seg.slots.len() as u64;
         self.stats.opts.add(counts);
@@ -184,6 +194,15 @@ impl FillUnit {
             SegEnd::FetchAligned => "fill.seg_end.fetch_aligned",
             SegEnd::Flushed => "fill.seg_end.flushed",
         });
+        if let Some(c) = self.controller.as_mut() {
+            if let Some(ep) = c.on_fill(now) {
+                self.telemetry.inc("policy.epochs");
+                self.telemetry
+                    .inc(&format!("policy.arm.{}", ep.arm.label()));
+                self.telemetry
+                    .add("policy.reward_milli", (ep.reward * 1000.0) as u64);
+            }
+        }
         // Always-on verification (oracle runs): a segment the passes broke
         // is dropped on the floor rather than cached, and the first failure
         // is retained for the simulator to surface as a divergence.
@@ -307,6 +326,39 @@ mod tests {
         let segs = fu.drain_ready(2);
         assert_eq!(segs.len(), 1);
         assert!(segs[0].slots[0].is_move);
+    }
+
+    #[test]
+    fn controller_arm_gates_passes() {
+        use crate::config::{ControllerConfig, ControllerMode, PassMask};
+        // Static-NONE arm: even with every pass configured on, nothing runs.
+        let mut fu = FillUnit::new(FillConfig {
+            opts: OptConfig::all(),
+            latency: 0,
+            controller: ControllerConfig {
+                mode: ControllerMode::Static(PassMask::NONE),
+                epoch_fills: 2,
+                seed: 0,
+            },
+            ..FillConfig::default()
+        });
+        let syscall = Instr {
+            op: Op::Syscall,
+            rd: r(0),
+            rs: r(0),
+            rt: r(0),
+            imm: 0,
+        };
+        for i in 0..4u64 {
+            let base = 0x1000 + (i as u32) * 0x100;
+            feed(&mut fu, base, addi(8, 9, 0), i * 10); // move idiom
+            feed(&mut fu, base + 4, addi(10, 8, 4), i * 10 + 1);
+            feed(&mut fu, base + 8, syscall, i * 10 + 2);
+        }
+        assert_eq!(fu.stats().opts.moves, 0, "NONE arm disables the pass");
+        // 4 fills at epoch_fills=2 => 2 closed epochs in telemetry.
+        assert_eq!(fu.telemetry().counter("policy.epochs"), 2);
+        assert_eq!(fu.telemetry().counter("policy.arm.none"), 2);
     }
 
     #[test]

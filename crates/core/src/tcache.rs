@@ -11,8 +11,9 @@
 //! match still issues the whole line).
 
 use crate::config::TraceCacheConfig;
-use crate::segment::Segment;
+use crate::segment::{SegEnd, Segment};
 use std::sync::Arc;
+use tracefill_policy::{LineAttrs, ReplacePolicy};
 
 /// Hit/miss statistics of the trace cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -27,6 +28,8 @@ pub struct TraceCacheStats {
     pub fills: u64,
     /// Fills that replaced a same-address, same-path line.
     pub refreshes: u64,
+    /// Fills that displaced a different line from a full set.
+    pub evictions: u64,
 }
 
 impl TraceCacheStats {
@@ -44,7 +47,6 @@ impl TraceCacheStats {
 #[derive(Debug, Clone)]
 struct Way {
     tag: u32,
-    lru: u64,
     seg: Arc<Segment>,
 }
 
@@ -75,6 +77,20 @@ pub struct TraceCache {
     set_mask: u32,
     clock: u64,
     stats: TraceCacheStats,
+    /// Replacement state, dispatched through `tracefill-policy`. The
+    /// cache reports hits/inserts with its lookup clock as the tick, so
+    /// the default LRU policy reproduces the historical in-struct LRU
+    /// stamps bit-for-bit.
+    policy: Box<dyn ReplacePolicy>,
+}
+
+/// The replacement-relevant facts about a segment.
+fn attrs_of(seg: &Segment) -> LineAttrs {
+    LineAttrs {
+        loop_seg: seg.end == SegEnd::Loop,
+        transformed: seg.slots.iter().any(|s| s.is_transformed()),
+        len: seg.slots.len() as u8,
+    }
 }
 
 /// Computes how many leading branches of `seg` the prediction stream
@@ -120,12 +136,18 @@ impl TraceCache {
             set_mask: sets - 1,
             clock: 0,
             stats: TraceCacheStats::default(),
+            policy: config.policy.build(sets as usize, config.ways as usize),
         }
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> TraceCacheStats {
         self.stats
+    }
+
+    /// The replacement policy's canonical name (`lru`, `srrip`, `trrip`).
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
     }
 
     fn set_of(&self, pc: u32) -> usize {
@@ -157,7 +179,7 @@ impl TraceCache {
         }
         match best {
             Some((w, m, _)) => {
-                self.sets[set][w].lru = clock;
+                self.policy.on_hit(set, w, clock);
                 self.stats.hits += 1;
                 if m.full {
                     self.stats.full_path_hits += 1;
@@ -181,36 +203,33 @@ impl TraceCache {
         let set = self.set_of(seg.start_pc);
         let ways = self.ways;
         let sig = seg.path_sig();
+        let attrs = attrs_of(&seg);
         let set_ways = &mut self.sets[set];
         self.stats.fills += 1;
 
         // Same start address and same path: refresh in place.
         if let Some(w) = set_ways
-            .iter_mut()
-            .find(|w| w.tag == seg.start_pc && w.seg.path_sig() == sig)
+            .iter()
+            .position(|w| w.tag == seg.start_pc && w.seg.path_sig() == sig)
         {
-            w.seg = seg;
-            w.lru = clock;
+            set_ways[w].seg = seg;
+            self.policy.on_insert(set, w, clock, &attrs);
             self.stats.refreshes += 1;
             return;
         }
         let tag = seg.start_pc;
         if set_ways.len() < ways {
-            set_ways.push(Way {
-                tag,
-                lru: clock,
-                seg,
-            });
+            let w = set_ways.len();
+            set_ways.push(Way { tag, seg });
+            self.policy.on_insert(set, w, clock, &attrs);
             return;
         }
-        // Evict the LRU way.
-        let victim = set_ways
-            .iter_mut()
-            .min_by_key(|w| w.lru)
-            .expect("full set has ways");
-        victim.tag = tag;
-        victim.seg = seg;
-        victim.lru = clock;
+        // Full set: the replacement policy picks the way to displace.
+        let victim = self.policy.victim(set, set_ways.len());
+        set_ways[victim].tag = tag;
+        set_ways[victim].seg = seg;
+        self.policy.on_insert(set, victim, clock, &attrs);
+        self.stats.evictions += 1;
     }
 
     /// Total storage currently occupied, in bits (for the paper's ≈156 KB
@@ -236,6 +255,7 @@ mod tests {
         TraceCache::new(TraceCacheConfig {
             entries: 8,
             ways: 2,
+            ..TraceCacheConfig::default()
         })
     }
 
@@ -341,6 +361,27 @@ mod tests {
         assert!(tc.lookup(pcs[0], &[false]).is_none());
         assert!(tc.lookup(pcs[1], &[false]).is_some());
         assert!(tc.lookup(pcs[2], &[false]).is_some());
+        assert_eq!(tc.stats().evictions, 1);
+        assert_eq!(tc.policy_name(), "lru");
+    }
+
+    #[test]
+    fn alternate_policies_still_cache_correctly() {
+        use crate::config::ReplacementKind;
+        for kind in [ReplacementKind::Srrip, ReplacementKind::Trrip] {
+            let mut tc = TraceCache::new(TraceCacheConfig {
+                entries: 8,
+                ways: 2,
+                policy: kind,
+            });
+            assert_eq!(tc.policy_name(), kind.name());
+            let seg = Arc::new(simple_segment());
+            let pc = seg.start_pc;
+            assert!(tc.lookup(pc, &[false]).is_none());
+            tc.insert(seg);
+            assert!(tc.lookup(pc, &[false]).is_some(), "{:?} basic hit", kind);
+            assert_eq!(tc.stats().fills, 1);
+        }
     }
 
     #[test]

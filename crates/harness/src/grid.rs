@@ -8,7 +8,7 @@
 //! limits, so re-running the same scientific point — even from a differently
 //! ordered or differently parallel campaign — always maps to the same id.
 
-use tracefill_core::config::OptConfig;
+use tracefill_core::config::{ControllerMode, OptConfig, ReplacementKind};
 use tracefill_util::{fnv1a64, Json};
 
 /// A labelled optimization set — one value of the `{opt set}` axis.
@@ -23,57 +23,21 @@ pub struct OptPoint {
 /// Parses an optimization spec: `all`, `none`, or a comma list of
 /// `moves`, `reassoc`, `scadd`, `placement`/`place`, `cse`.
 ///
+/// Delegates to [`OptConfig::from_name`] — the single opt-set parser for
+/// the workspace.
+///
 /// # Errors
 ///
 /// Returns the offending token.
 pub fn parse_opt_spec(spec: &str) -> Result<OptConfig, String> {
-    match spec {
-        "all" => return Ok(OptConfig::all()),
-        "none" => return Ok(OptConfig::none()),
-        _ => {}
-    }
-    let mut o = OptConfig::none();
-    for part in spec.split(',').filter(|p| !p.is_empty()) {
-        match part.trim() {
-            "moves" => o.moves = true,
-            "reassoc" => o.reassoc = true,
-            "scadd" => o.scadd = true,
-            "placement" | "place" => o.placement = true,
-            "cse" => o.cse = true,
-            other => return Err(format!("unknown optimization `{other}`")),
-        }
-    }
-    Ok(o)
+    OptConfig::from_name(spec)
 }
 
 /// The canonical label for an optimization set (inverse of
-/// [`parse_opt_spec`] up to ordering).
+/// [`parse_opt_spec`] up to ordering). Delegates to [`OptConfig::label`].
 #[must_use]
 pub fn opt_label(o: &OptConfig) -> String {
-    if *o == OptConfig::all() {
-        return "all".to_string();
-    }
-    let mut parts = Vec::new();
-    if o.moves {
-        parts.push("moves");
-    }
-    if o.reassoc {
-        parts.push("reassoc");
-    }
-    if o.scadd {
-        parts.push("scadd");
-    }
-    if o.placement {
-        parts.push("placement");
-    }
-    if o.cse {
-        parts.push("cse");
-    }
-    if parts.is_empty() {
-        "none".to_string()
-    } else {
-        parts.join(",")
-    }
+    o.label()
 }
 
 /// One fully resolved point of the campaign grid.
@@ -101,22 +65,41 @@ pub struct RunDescriptor {
     pub max_cycles: u64,
     /// Hard per-run wall-clock cap in milliseconds (not part of the id).
     pub wall_limit_ms: u64,
+    /// Trace-cache replacement policy.
+    pub policy: ReplacementKind,
+    /// Online pass controller mode ([`ControllerMode::Off`] for the static
+    /// machine). The controller is seeded with [`RunDescriptor::seed`].
+    pub controller: ControllerMode,
+    /// Fills per controller epoch (ignored when the controller is off).
+    /// Epochs much shorter than trace-cache residence misattribute reward
+    /// to the wrong arm, so adaptive sweeps want this large.
+    pub epoch_fills: u64,
 }
 
 impl RunDescriptor {
-    fn id_for(
-        bench: &str,
-        opt_label: &str,
-        fill_latency: u32,
-        seed: u64,
-        warmup: u64,
-        budget: u64,
-        max_cycles: u64,
-    ) -> String {
-        let key = format!(
-            "bench={bench};opts={opt_label};fill_latency={fill_latency};seed={seed};\
-             warmup={warmup};budget={budget};max_cycles={max_cycles}"
+    /// The content hash over this descriptor's scientific coordinates
+    /// (everything but `run_id` and the wall-clock limit).
+    fn content_id(&self) -> String {
+        let mut key = format!(
+            "bench={};opts={};fill_latency={};seed={};warmup={};budget={};max_cycles={}",
+            self.bench,
+            self.opt_label,
+            self.fill_latency,
+            self.seed,
+            self.warmup,
+            self.budget,
+            self.max_cycles,
         );
+        // Default policy/controller rows keep the historical key so every
+        // stored campaign on disk keeps resuming; only non-default rows
+        // extend it.
+        if self.policy != ReplacementKind::Lru {
+            key.push_str(&format!(";policy={}", self.policy.name()));
+        }
+        if self.controller != ControllerMode::Off {
+            key.push_str(&format!(";controller={}", self.controller.label()));
+            key.push_str(&format!(";epoch={}", self.epoch_fills));
+        }
         format!("{:016x}", fnv1a64(key.as_bytes()))
     }
 }
@@ -143,6 +126,14 @@ pub struct CampaignSpec {
     pub max_cycles: u64,
     /// Per-run wall-clock watchdog (milliseconds).
     pub wall_limit_ms: u64,
+    /// The `{replacement policy}` axis (canonical names: `lru`, `srrip`,
+    /// `trrip`).
+    pub policies: Vec<String>,
+    /// Pass-controller mode applied to every run (canonical
+    /// [`ControllerMode`] label; `off` for static campaigns).
+    pub controller: String,
+    /// Fills per controller epoch (ignored when `controller` is `off`).
+    pub epoch_fills: u64,
 }
 
 impl CampaignSpec {
@@ -172,6 +163,9 @@ impl CampaignSpec {
             budget: 150_000,
             max_cycles: 50_000_000,
             wall_limit_ms: 120_000,
+            policies: vec!["lru".to_string()],
+            controller: "off".to_string(),
+            epoch_fills: 1024,
         }
     }
 
@@ -201,34 +195,44 @@ impl CampaignSpec {
     }
 
     /// Expands the grid in a fixed order:
-    /// benchmarks → opt sets → fill latencies → seeds.
+    /// benchmarks → opt sets → fill latencies → seeds → policies.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unparseable `policies` entry or `controller` (specs
+    /// built through [`from_json`](Self::from_json) are pre-validated).
     #[must_use]
     pub fn expand(&self) -> Vec<RunDescriptor> {
+        let policies: Vec<ReplacementKind> = self
+            .policies
+            .iter()
+            .map(|p| ReplacementKind::parse(p).expect("validated policy name"))
+            .collect();
+        let controller = ControllerMode::parse(&self.controller).expect("validated controller");
         let mut out = Vec::new();
         for bench in &self.benchmarks {
             for opt in &self.opt_sets {
                 for &lat in &self.fill_latencies {
                     for &seed in &self.seeds {
-                        out.push(RunDescriptor {
-                            run_id: RunDescriptor::id_for(
-                                bench,
-                                &opt.label,
-                                lat,
+                        for &policy in &policies {
+                            let mut desc = RunDescriptor {
+                                run_id: String::new(),
+                                bench: bench.clone(),
+                                opt_label: opt.label.clone(),
+                                opts: opt.opts,
+                                fill_latency: lat,
                                 seed,
-                                self.warmup,
-                                self.budget,
-                                self.max_cycles,
-                            ),
-                            bench: bench.clone(),
-                            opt_label: opt.label.clone(),
-                            opts: opt.opts,
-                            fill_latency: lat,
-                            seed,
-                            warmup: self.warmup,
-                            budget: self.budget,
-                            max_cycles: self.max_cycles,
-                            wall_limit_ms: self.wall_limit_ms,
-                        });
+                                warmup: self.warmup,
+                                budget: self.budget,
+                                max_cycles: self.max_cycles,
+                                wall_limit_ms: self.wall_limit_ms,
+                                policy,
+                                controller,
+                                epoch_fills: self.epoch_fills,
+                            };
+                            desc.run_id = desc.content_id();
+                            out.push(desc);
+                        }
                     }
                 }
             }
@@ -271,6 +275,17 @@ impl CampaignSpec {
             .with("budget", self.budget)
             .with("max_cycles", self.max_cycles)
             .with("wall_limit_ms", self.wall_limit_ms)
+            .with(
+                "policies",
+                Json::Arr(
+                    self.policies
+                        .iter()
+                        .map(|p| Json::from(p.as_str()))
+                        .collect(),
+                ),
+            )
+            .with("controller", self.controller.as_str())
+            .with("epoch_fills", self.epoch_fills)
     }
 
     /// Parses a spec from its JSON form. Omitted fields fall back to the
@@ -359,6 +374,30 @@ impl CampaignSpec {
                 Some(j) => j.as_u64().ok_or_else(|| format!("bad `{key}`: {j:?}")),
             }
         };
+        let policies = match v.get("policies").and_then(Json::as_arr) {
+            None => defaults.policies,
+            Some(items) => {
+                let mut names = Vec::new();
+                for item in items {
+                    let name = item.as_str().ok_or_else(|| {
+                        format!("`policies` entries must be strings, got {item:?}")
+                    })?;
+                    names.push(ReplacementKind::parse(name)?.name().to_string());
+                }
+                names
+            }
+        };
+
+        let controller = match v.get("controller") {
+            None => defaults.controller,
+            Some(j) => {
+                let s = j
+                    .as_str()
+                    .ok_or_else(|| format!("bad `controller`: {j:?}"))?;
+                ControllerMode::parse(s)?.label()
+            }
+        };
+
         let spec = CampaignSpec {
             name,
             opt_sets,
@@ -369,11 +408,15 @@ impl CampaignSpec {
             budget: num("budget", defaults.budget)?,
             max_cycles: num("max_cycles", defaults.max_cycles)?,
             wall_limit_ms: num("wall_limit_ms", defaults.wall_limit_ms)?,
+            policies,
+            controller,
+            epoch_fills: num("epoch_fills", defaults.epoch_fills)?.max(1),
         };
         if spec.opt_sets.is_empty()
             || spec.fill_latencies.is_empty()
             || spec.benchmarks.is_empty()
             || spec.seeds.is_empty()
+            || spec.policies.is_empty()
         {
             return Err("campaign has an empty axis".to_string());
         }
@@ -401,18 +444,52 @@ mod tests {
         // A spot-check pin: if this changes, every stored campaign on disk
         // stops resuming. Change it only with a migration story.
         let first = &a[0];
+        assert_eq!(first.run_id, first.content_id());
+        // Default policy/controller rows must keep the *historical* key
+        // format (no policy/controller suffix), so campaigns stored before
+        // the policy axes existed still resume.
+        let legacy_key = format!(
+            "bench={};opts={};fill_latency={};seed={};warmup={};budget={};max_cycles={}",
+            first.bench,
+            first.opt_label,
+            first.fill_latency,
+            first.seed,
+            first.warmup,
+            first.budget,
+            first.max_cycles,
+        );
         assert_eq!(
             first.run_id,
-            RunDescriptor::id_for(
-                &first.bench,
-                &first.opt_label,
-                first.fill_latency,
-                first.seed,
-                first.warmup,
-                first.budget,
-                first.max_cycles,
-            )
+            format!("{:016x}", fnv1a64(legacy_key.as_bytes()))
         );
+    }
+
+    #[test]
+    fn policy_axis_expands_and_distinguishes_ids() {
+        let mut spec = CampaignSpec::fig8();
+        let base = spec.expand();
+        spec.policies = vec!["lru".to_string(), "srrip".to_string(), "trrip".to_string()];
+        spec.controller = "egreedy:100".to_string();
+        let runs = spec.expand();
+        assert_eq!(runs.len(), base.len() * 3);
+        let ids: std::collections::HashSet<_> = runs.iter().map(|r| r.run_id.clone()).collect();
+        assert_eq!(ids.len(), runs.len(), "policy axes must split run ids");
+        // None of the swept ids collide with the static-default ids.
+        for r in &base {
+            assert!(!ids.contains(&r.run_id));
+        }
+    }
+
+    #[test]
+    fn policy_spec_json_roundtrip() {
+        let mut spec = CampaignSpec::fig8();
+        spec.policies = vec!["srrip".to_string()];
+        spec.controller = "ucb:1414".to_string();
+        let back = CampaignSpec::from_json(&spec.to_json().dump()).unwrap();
+        assert_eq!(spec, back);
+        assert!(CampaignSpec::from_json(r#"{"policies":["mru"]}"#).is_err());
+        assert!(CampaignSpec::from_json(r#"{"controller":"thompson"}"#).is_err());
+        assert!(CampaignSpec::from_json(r#"{"policies":[]}"#).is_err());
     }
 
     #[test]

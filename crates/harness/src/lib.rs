@@ -18,7 +18,9 @@
 //! * [`report`] — arithmetic/geometric-mean IPC deltas, min/max, and
 //!   per-benchmark tables in the shape of the paper's Figure 8 and
 //!   Table 2, reproduced from the JSONL alone;
-//! * [`progress`] — a live `completed/total, runs/sec, ETA` line.
+//! * [`progress`] — a live `completed/total, runs/sec, ETA` line;
+//! * [`adapt`] — static-vs-adaptive comparisons for the online pass
+//!   controller (`tracefill adapt`), emitting a deterministic JSON report.
 //!
 //! The engine is `std`-only: JSON and hashing come from
 //! [`tracefill_util`], threading from the standard library.
@@ -36,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adapt;
 pub mod grid;
 pub mod pool;
 pub mod progress;
@@ -43,6 +46,7 @@ pub mod report;
 pub mod runner;
 pub mod store;
 
+pub use adapt::{run_adapt, AdaptSpec};
 pub use grid::{CampaignSpec, OptPoint, RunDescriptor};
 pub use pool::{run_campaign, run_campaign_with, CampaignOptions, CampaignSummary};
 pub use runner::{RunRecord, RunStatus};

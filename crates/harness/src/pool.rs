@@ -311,7 +311,13 @@ pub fn run_campaign_with(
 /// The configuration key quarantine operates on: a panic is a property of
 /// the (workload, optimization set) cell, not of one seed or latency.
 fn quarantine_key(desc: &RunDescriptor) -> String {
-    format!("{}|{}", desc.bench, desc.opt_label)
+    format!(
+        "{}|{}|{}|{}",
+        desc.bench,
+        desc.opt_label,
+        desc.policy.name(),
+        desc.controller.label()
+    )
 }
 
 /// Worker → coordinator messages. The record is boxed so the channel moves
@@ -360,6 +366,8 @@ fn empty_record(desc: &RunDescriptor, campaign: &str, status: RunStatus) -> RunR
         opt_label: desc.opt_label.clone(),
         fill_latency: desc.fill_latency,
         seed: desc.seed,
+        policy: desc.policy.name().to_string(),
+        controller: desc.controller.label(),
         status,
         ipc: 0.0,
         window_cycles: 0,

@@ -398,6 +398,8 @@ mod tests {
             opt_label: opt.to_string(),
             fill_latency: lat,
             seed: 0,
+            policy: "lru".to_string(),
+            controller: "off".to_string(),
             status: RunStatus::Ok,
             ipc,
             window_cycles: 1000,

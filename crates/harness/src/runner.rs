@@ -25,6 +25,7 @@
 use crate::grid::RunDescriptor;
 use std::sync::atomic::AtomicBool;
 use std::time::Instant;
+use tracefill_core::config::{ControllerConfig, ControllerMode};
 use tracefill_isa::Program;
 use tracefill_sim::{CpiStack, RunExit, SimConfig, Simulator, Stats};
 use tracefill_util::{Json, Registry};
@@ -94,6 +95,10 @@ pub struct RunRecord {
     pub fill_latency: u32,
     /// Workload seed.
     pub seed: u64,
+    /// Trace-cache replacement policy name (`lru` for legacy rows).
+    pub policy: String,
+    /// Pass-controller mode label (`off` for legacy rows).
+    pub controller: String,
     /// Outcome.
     pub status: RunStatus,
     /// IPC over the measured window (0 for failed runs).
@@ -127,6 +132,8 @@ impl RunRecord {
             .with("opts", self.opt_label.as_str())
             .with("fill_latency", self.fill_latency)
             .with("seed", self.seed)
+            .with("policy", self.policy.as_str())
+            .with("controller", self.controller.as_str())
             .with("status", self.status.tag());
         if let Some(d) = self.status.detail() {
             v = v.with("detail", d);
@@ -188,6 +195,10 @@ impl RunRecord {
             opt_label: s("opts")?,
             fill_latency: u32::try_from(u("fill_latency")?).map_err(|e| e.to_string())?,
             seed: u("seed")?,
+            // Rows written before the policy axes existed ran the static
+            // LRU machine.
+            policy: s("policy").unwrap_or_else(|_| "lru".to_string()),
+            controller: s("controller").unwrap_or_else(|_| "off".to_string()),
             status,
             ipc: v.get("ipc").and_then(Json::as_f64).unwrap_or(0.0),
             window_cycles: u("window_cycles").unwrap_or(0),
@@ -295,6 +306,8 @@ pub fn execute(desc: &RunDescriptor, campaign: &str, cancel: Option<&AtomicBool>
         opt_label: desc.opt_label.clone(),
         fill_latency: desc.fill_latency,
         seed: desc.seed,
+        policy: desc.policy.name().to_string(),
+        controller: desc.controller.label(),
         status: RunStatus::Ok,
         ipc: 0.0,
         window_cycles: 0,
@@ -316,6 +329,14 @@ pub fn execute(desc: &RunDescriptor, campaign: &str, cancel: Option<&AtomicBool>
 
     let mut cfg = SimConfig::with_opts(desc.opts);
     cfg.fill.latency = desc.fill_latency;
+    cfg.tcache.policy = desc.policy;
+    if desc.controller != ControllerMode::Off {
+        cfg.fill.controller = ControllerConfig {
+            mode: desc.controller,
+            epoch_fills: desc.epoch_fills.max(1),
+            seed: desc.seed,
+        };
+    }
     let mut sim = Simulator::new(&prog, cfg);
 
     // Warmup: trace cache, bias table and predictor state need a long

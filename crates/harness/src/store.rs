@@ -305,6 +305,8 @@ mod tests {
             opt_label: "all".to_string(),
             fill_latency: 1,
             seed: 0,
+            policy: "lru".to_string(),
+            controller: "off".to_string(),
             status: RunStatus::Ok,
             ipc: 2.5,
             window_cycles: 100,

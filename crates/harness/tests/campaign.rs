@@ -29,6 +29,9 @@ fn small_spec() -> CampaignSpec {
         budget: 2_000,
         max_cycles: 10_000_000,
         wall_limit_ms: 60_000,
+        policies: vec!["lru".to_string()],
+        controller: "off".to_string(),
+        epoch_fills: 1024,
     }
 }
 

@@ -23,6 +23,9 @@ fn spec(name: &str, benches: &[&str], seeds: &[u64], budget: u64) -> CampaignSpe
         budget,
         max_cycles: 10_000_000,
         wall_limit_ms: 60_000,
+        policies: vec!["lru".to_string()],
+        controller: "off".to_string(),
+        epoch_fills: 1024,
     }
 }
 

@@ -1,0 +1,398 @@
+//! The online pass controller: a deterministic multi-armed bandit over
+//! pass subsets.
+//!
+//! Time is divided into **epochs of N fills**. During an epoch every
+//! finalized segment is optimized with the epoch's arm (a [`PassMask`]);
+//! at the epoch boundary the controller computes the epoch's reward —
+//! retired instructions per cycle, both observed directly from the retire
+//! stream the fill unit already watches — credits it to the arm, and picks
+//! the next arm.
+//!
+//! Determinism is a hard requirement (same seed ⇒ byte-identical
+//! simulations), so:
+//!
+//! * exploration uses a seeded [`SplitMix64`] stream and nothing else;
+//! * all tie-breaks are "first index wins";
+//! * configuration carries integers only (`epsilon_milli`, `c_milli`), so
+//!   the configs stay `Copy + Eq` and hashable into campaign run ids.
+
+use crate::mask::{PassMask, DEFAULT_ARMS};
+use tracefill_util::SplitMix64;
+
+/// How the controller chooses arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerMode {
+    /// No controller: the fill unit applies its configured passes
+    /// unconditionally (the paper's behavior).
+    Off,
+    /// Pinned to one pass subset for the whole run. Useful as the identity
+    /// baseline: `Static(PassMask::ALL)` must reproduce the static
+    /// simulator bit-for-bit.
+    Static(PassMask),
+    /// Epsilon-greedy: with probability `epsilon_milli`/1000 explore a
+    /// uniformly random arm, otherwise exploit the best mean reward.
+    EpsilonGreedy {
+        /// Exploration probability in thousandths (100 = 10%).
+        epsilon_milli: u32,
+    },
+    /// UCB1: choose the arm maximizing `mean + c * sqrt(ln(t) / n)`,
+    /// after trying every arm once (in index order).
+    Ucb {
+        /// Exploration coefficient `c` in thousandths (1414 ≈ √2).
+        c_milli: u32,
+    },
+}
+
+impl ControllerMode {
+    /// Parses a controller spec: `off`, `static:<pass spec>`,
+    /// `egreedy[:<epsilon_milli>]`, or `ucb[:<c_milli>]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending spec.
+    pub fn parse(spec: &str) -> Result<ControllerMode, String> {
+        let (head, arg) = match spec.split_once(':') {
+            Some((h, a)) => (h, Some(a)),
+            None => (spec, None),
+        };
+        match head {
+            "off" => match arg {
+                None => Ok(ControllerMode::Off),
+                Some(_) => Err("`off` takes no argument".to_string()),
+            },
+            "static" => {
+                let mask = PassMask::parse(arg.unwrap_or("all"))?;
+                Ok(ControllerMode::Static(mask))
+            }
+            "egreedy" => {
+                let e = parse_milli(arg, 100)?;
+                Ok(ControllerMode::EpsilonGreedy { epsilon_milli: e })
+            }
+            "ucb" => {
+                let c = parse_milli(arg, 1414)?;
+                Ok(ControllerMode::Ucb { c_milli: c })
+            }
+            other => Err(format!(
+                "unknown controller `{other}` (expected off, static:<spec>, egreedy[:milli], ucb[:milli])"
+            )),
+        }
+    }
+
+    /// The canonical label (inverse of [`parse`](Self::parse)).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            ControllerMode::Off => "off".to_string(),
+            ControllerMode::Static(m) => format!("static:{}", m.label()),
+            ControllerMode::EpsilonGreedy { epsilon_milli } => format!("egreedy:{epsilon_milli}"),
+            ControllerMode::Ucb { c_milli } => format!("ucb:{c_milli}"),
+        }
+    }
+}
+
+fn parse_milli(arg: Option<&str>, default: u32) -> Result<u32, String> {
+    match arg {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad controller parameter `{v}` (expected an integer)")),
+    }
+}
+
+/// Full controller configuration — `Copy` so it can live inside the fill
+/// unit's configuration struct and hash into campaign run ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControllerConfig {
+    /// Arm-selection strategy.
+    pub mode: ControllerMode,
+    /// Epoch length in finalized segments (fills).
+    pub epoch_fills: u64,
+    /// Seed of the exploration stream.
+    pub seed: u64,
+}
+
+impl Default for ControllerConfig {
+    /// Controller off — the static machine.
+    fn default() -> ControllerConfig {
+        ControllerConfig {
+            mode: ControllerMode::Off,
+            epoch_fills: 64,
+            seed: 0,
+        }
+    }
+}
+
+/// What happened at one epoch boundary (for telemetry).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochSummary {
+    /// Epoch number, from 1.
+    pub epoch: u64,
+    /// The arm the closing epoch ran under.
+    pub arm: PassMask,
+    /// The closing epoch's reward (IPC observed at the fill unit).
+    pub reward: f64,
+    /// The arm chosen for the next epoch.
+    pub next_arm: PassMask,
+}
+
+/// Per-arm running statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct ArmStat {
+    count: u64,
+    mean: f64,
+}
+
+/// The online pass controller.
+#[derive(Debug, Clone)]
+pub struct PassController {
+    cfg: ControllerConfig,
+    arms: Vec<PassMask>,
+    stats: Vec<ArmStat>,
+    rng: SplitMix64,
+    current: usize,
+    epochs: u64,
+    /// Fills and retires observed in the current epoch, and the cycle the
+    /// epoch started at (the first event observed after the boundary).
+    fills: u64,
+    instrs: u64,
+    epoch_start: Option<u64>,
+}
+
+impl PassController {
+    /// Creates a controller, or `None` when the mode is
+    /// [`ControllerMode::Off`].
+    ///
+    /// The epoch length is clamped to at least 1 fill.
+    #[must_use]
+    pub fn new(cfg: ControllerConfig) -> Option<PassController> {
+        let arms = match cfg.mode {
+            ControllerMode::Off => return None,
+            ControllerMode::Static(m) => vec![m],
+            ControllerMode::EpsilonGreedy { .. } | ControllerMode::Ucb { .. } => {
+                DEFAULT_ARMS.to_vec()
+            }
+        };
+        Some(PassController {
+            stats: vec![ArmStat::default(); arms.len()],
+            arms,
+            rng: SplitMix64::new(cfg.seed),
+            current: 0,
+            epochs: 0,
+            fills: 0,
+            instrs: 0,
+            epoch_start: None,
+            cfg,
+        })
+    }
+
+    /// The pass subset segments finalized now should be optimized with.
+    #[must_use]
+    pub fn current(&self) -> PassMask {
+        self.arms[self.current]
+    }
+
+    /// Epochs completed so far.
+    #[must_use]
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// One retired instruction observed at cycle `now`.
+    pub fn on_retire(&mut self, now: u64) {
+        self.instrs += 1;
+        self.epoch_start.get_or_insert(now);
+    }
+
+    /// One finalized segment at cycle `now`. Returns the epoch summary
+    /// when this fill closes an epoch.
+    pub fn on_fill(&mut self, now: u64) -> Option<EpochSummary> {
+        self.fills += 1;
+        self.epoch_start.get_or_insert(now);
+        if self.fills < self.cfg.epoch_fills.max(1) {
+            return None;
+        }
+        // Epoch boundary: credit the reward and pick the next arm.
+        let cycles = now.saturating_sub(self.epoch_start.unwrap_or(now)).max(1);
+        let reward = self.instrs as f64 / cycles as f64;
+        let stat = &mut self.stats[self.current];
+        stat.count += 1;
+        stat.mean += (reward - stat.mean) / stat.count as f64;
+        self.epochs += 1;
+        let arm = self.arms[self.current];
+        self.current = self.choose();
+        self.fills = 0;
+        self.instrs = 0;
+        self.epoch_start = Some(now);
+        Some(EpochSummary {
+            epoch: self.epochs,
+            arm,
+            reward,
+            next_arm: self.arms[self.current],
+        })
+    }
+
+    /// Picks the arm for the next epoch.
+    fn choose(&mut self) -> usize {
+        match self.cfg.mode {
+            ControllerMode::Off | ControllerMode::Static(_) => 0,
+            ControllerMode::EpsilonGreedy { epsilon_milli } => {
+                // Untried arms first, in index order, so every arm gets at
+                // least one honest measurement before exploitation starts.
+                if let Some(i) = self.stats.iter().position(|s| s.count == 0) {
+                    return i;
+                }
+                if self.rng.range_u64(0, 1000) < u64::from(epsilon_milli.min(1000)) {
+                    self.rng.range_u64(0, self.arms.len() as u64) as usize
+                } else {
+                    self.best_mean()
+                }
+            }
+            ControllerMode::Ucb { c_milli } => {
+                if let Some(i) = self.stats.iter().position(|s| s.count == 0) {
+                    return i;
+                }
+                let c = f64::from(c_milli) / 1000.0;
+                let t = self.epochs.max(1) as f64;
+                let mut best = 0usize;
+                let mut best_v = f64::MIN;
+                for (i, s) in self.stats.iter().enumerate() {
+                    let v = s.mean + c * (t.ln() / s.count as f64).sqrt();
+                    if v > best_v {
+                        best_v = v;
+                        best = i;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Index of the arm with the best mean reward (first on ties).
+    fn best_mean(&self) -> usize {
+        let mut best = 0usize;
+        let mut best_v = f64::MIN;
+        for (i, s) in self.stats.iter().enumerate() {
+            if s.mean > best_v {
+                best_v = s.mean;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// `(arm, epochs credited, mean reward)` for every arm, in arm order.
+    pub fn arm_stats(&self) -> impl Iterator<Item = (PassMask, u64, f64)> + '_ {
+        self.arms
+            .iter()
+            .zip(&self.stats)
+            .map(|(&a, s)| (a, s.count, s.mean))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(mode: ControllerMode) -> ControllerConfig {
+        ControllerConfig {
+            mode,
+            epoch_fills: 2,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn off_mode_builds_no_controller() {
+        assert!(PassController::new(ControllerConfig::default()).is_none());
+    }
+
+    #[test]
+    fn static_mode_never_moves() {
+        let mut c = PassController::new(cfg(ControllerMode::Static(PassMask::ALL))).unwrap();
+        for i in 0..50 {
+            assert_eq!(c.current(), PassMask::ALL);
+            c.on_retire(i * 10);
+            c.on_fill(i * 10 + 5);
+        }
+        assert!(c.epochs() > 0);
+    }
+
+    #[test]
+    fn epoch_closes_every_n_fills() {
+        let mut c = PassController::new(cfg(ControllerMode::Ucb { c_milli: 1414 })).unwrap();
+        assert!(c.on_fill(10).is_none());
+        let ep = c.on_fill(20).expect("second fill closes the epoch");
+        assert_eq!(ep.epoch, 1);
+        assert!(c.on_fill(30).is_none());
+        assert!(c.on_fill(40).is_some());
+    }
+
+    #[test]
+    fn ucb_tries_every_arm_then_converges_to_best() {
+        let mut c = PassController::new(cfg(ControllerMode::Ucb { c_milli: 200 })).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        // Arm 5 (ALL) pays 4 IPC, everything else 1: retire counts differ.
+        for round in 0..200u64 {
+            seen.insert(c.current());
+            let ipc = if c.current() == PassMask::ALL { 40 } else { 10 };
+            let base = round * 100;
+            for k in 0..ipc {
+                c.on_retire(base + k / 4);
+            }
+            c.on_fill(base + 10);
+            c.on_fill(base + 20);
+        }
+        assert_eq!(seen.len(), DEFAULT_ARMS.len(), "all arms explored");
+        let (best, _, _) = c
+            .arm_stats()
+            .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+            .unwrap();
+        assert_eq!(best, PassMask::ALL);
+        let pulls: Vec<(PassMask, u64)> = c.arm_stats().map(|(a, n, _)| (a, n)).collect();
+        let all_pulls = pulls.iter().find(|(a, _)| *a == PassMask::ALL).unwrap().1;
+        assert!(
+            all_pulls > 100,
+            "best arm should dominate pulls, got {pulls:?}"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let mk = || PassController::new(cfg(ControllerMode::EpsilonGreedy { epsilon_milli: 300 }));
+        let (mut a, mut b) = (mk().unwrap(), mk().unwrap());
+        for i in 0..500u64 {
+            assert_eq!(a.current(), b.current());
+            a.on_retire(i * 7);
+            b.on_retire(i * 7);
+            a.on_fill(i * 7 + 3);
+            b.on_fill(i * 7 + 3);
+        }
+        assert_eq!(a.epochs(), b.epochs());
+    }
+
+    #[test]
+    fn mode_parse_label_roundtrip() {
+        for spec in [
+            "off",
+            "static:all",
+            "static:moves,scadd",
+            "egreedy:100",
+            "ucb:1414",
+        ] {
+            let m = ControllerMode::parse(spec).unwrap();
+            assert_eq!(m.label(), spec);
+        }
+        assert_eq!(
+            ControllerMode::parse("egreedy").unwrap(),
+            ControllerMode::EpsilonGreedy { epsilon_milli: 100 }
+        );
+        assert_eq!(
+            ControllerMode::parse("ucb").unwrap(),
+            ControllerMode::Ucb { c_milli: 1414 }
+        );
+        assert!(ControllerMode::parse("thompson").is_err());
+        assert!(ControllerMode::parse("egreedy:lots").is_err());
+        assert!(ControllerMode::parse("static:frob").is_err());
+        assert!(ControllerMode::parse("off:3").is_err());
+    }
+}

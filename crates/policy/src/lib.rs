@@ -1,0 +1,64 @@
+//! # tracefill-policy
+//!
+//! The adaptive policy engine: dynamic decision surfaces for the fill unit
+//! and the trace cache, going beyond the paper's fixed configuration.
+//!
+//! The paper applies its four fill-unit optimizations unconditionally, yet
+//! its own Table 2 shows applicability varies wildly per benchmark — a
+//! pass that rarely fires still pays fill-pipe latency and verification
+//! work. This crate provides two pluggable decision surfaces:
+//!
+//! * [`bandit`] — an **online pass controller** that, per epoch of N
+//!   fills, chooses which optimization passes to enable using only
+//!   telemetry the fill unit already sees (its retire stream and fill
+//!   counts). Arm selection is a deterministic seeded bandit
+//!   (epsilon-greedy or UCB1 over pass subsets), so the same seed always
+//!   produces byte-identical simulations.
+//! * [`replace`] — a **replacement-policy trait** for the trace cache,
+//!   with LRU (the paper's behavior, extracted from `tcache.rs`), SRRIP
+//!   (static re-reference interval prediction), and a TRRIP-style
+//!   temperature policy keyed on segment provenance and hit history.
+//!
+//! Both surfaces are configured through small `Copy` config values
+//! ([`ControllerConfig`], [`ReplacementKind`]) so they can live inside the
+//! simulator's existing `Copy` configuration structs and participate in
+//! campaign grids. The crate sits *below* `tracefill-core` in the
+//! dependency order: it never names segments or instructions, only the
+//! abstract facts core hands it ([`PassMask`], [`LineAttrs`], ticks).
+//!
+//! # Examples
+//!
+//! Deterministic arm selection over pass subsets:
+//!
+//! ```
+//! use tracefill_policy::{ControllerConfig, ControllerMode, PassController, PassMask};
+//!
+//! let cfg = ControllerConfig {
+//!     mode: ControllerMode::Ucb { c_milli: 500 },
+//!     epoch_fills: 4,
+//!     seed: 7,
+//! };
+//! let mut a = PassController::new(cfg).unwrap();
+//! let mut b = PassController::new(cfg).unwrap();
+//! for fill in 0..64u64 {
+//!     // Same seed, same retire/fill stream => identical arm sequences.
+//!     let now = fill * 4;
+//!     a.on_retire(now);
+//!     b.on_retire(now);
+//!     assert_eq!(a.current(), b.current());
+//!     a.on_fill(now);
+//!     b.on_fill(now);
+//! }
+//! assert_eq!(a.current(), b.current());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bandit;
+pub mod mask;
+pub mod replace;
+
+pub use bandit::{ControllerConfig, ControllerMode, EpochSummary, PassController};
+pub use mask::PassMask;
+pub use replace::{LineAttrs, ReplacePolicy, ReplacementKind};

@@ -1,0 +1,143 @@
+//! Pass subsets as a compact bitmask.
+//!
+//! The controller reasons about optimization passes without knowing
+//! anything about segments or `OptConfig`: a pass subset is a [`PassMask`]
+//! bit set, and `tracefill-core` maps masks onto its own configuration.
+//! The token names here (`moves`, `reassoc`, `scadd`, `placement`,
+//! `cse`) are the single source of truth for every spec parser in the
+//! workspace — `OptConfig::from_name` and the harness grid both delegate
+//! to [`PassMask::parse`].
+
+/// A set of optimization passes, one bit per pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PassMask(pub u8);
+
+impl PassMask {
+    /// §4.2 register-move marking.
+    pub const MOVES: PassMask = PassMask(1 << 0);
+    /// §4.3 immediate reassociation.
+    pub const REASSOC: PassMask = PassMask(1 << 1);
+    /// §4.4 scaled adds.
+    pub const SCADD: PassMask = PassMask(1 << 2);
+    /// §4.5 instruction placement.
+    pub const PLACEMENT: PassMask = PassMask(1 << 3);
+    /// §5 common-subexpression elimination (extension; not part of `ALL`).
+    pub const CSE: PassMask = PassMask(1 << 4);
+    /// No passes — the baseline.
+    pub const NONE: PassMask = PassMask(0);
+    /// The paper's four evaluated passes (`cse` stays opt-in, matching
+    /// `OptConfig::all`).
+    pub const ALL: PassMask = PassMask(0b1111);
+
+    /// Every `(mask, token)` pair, in canonical label order.
+    const TOKENS: [(PassMask, &'static str); 5] = [
+        (PassMask::MOVES, "moves"),
+        (PassMask::REASSOC, "reassoc"),
+        (PassMask::SCADD, "scadd"),
+        (PassMask::PLACEMENT, "placement"),
+        (PassMask::CSE, "cse"),
+    ];
+
+    /// Whether every pass in `other` is also in `self`.
+    #[must_use]
+    pub fn contains(self, other: PassMask) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// The union of two subsets.
+    #[must_use]
+    pub fn union(self, other: PassMask) -> PassMask {
+        PassMask(self.0 | other.0)
+    }
+
+    /// Parses a pass-subset spec: `all`, `none`, or a comma list of
+    /// `moves`, `reassoc`, `scadd`, `placement`/`place`, `cse`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending token.
+    pub fn parse(spec: &str) -> Result<PassMask, String> {
+        match spec {
+            "all" => return Ok(PassMask::ALL),
+            "none" => return Ok(PassMask::NONE),
+            _ => {}
+        }
+        let mut m = PassMask::NONE;
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let bit = match part.trim() {
+                "moves" => PassMask::MOVES,
+                "reassoc" => PassMask::REASSOC,
+                "scadd" => PassMask::SCADD,
+                "placement" | "place" => PassMask::PLACEMENT,
+                "cse" => PassMask::CSE,
+                other => return Err(format!("unknown optimization `{other}`")),
+            };
+            m = m.union(bit);
+        }
+        Ok(m)
+    }
+
+    /// The canonical label (inverse of [`parse`](Self::parse) up to token
+    /// order): `"none"`, `"all"`, or a comma list.
+    #[must_use]
+    pub fn label(self) -> String {
+        if self == PassMask::ALL {
+            return "all".to_string();
+        }
+        let parts: Vec<&str> = Self::TOKENS
+            .iter()
+            .filter(|(bit, _)| self.contains(*bit))
+            .map(|(_, name)| *name)
+            .collect();
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join(",")
+        }
+    }
+}
+
+/// The controller's default arm universe: the baseline, each paper pass in
+/// isolation, and all four together — the six configurations the paper's
+/// figures compare.
+pub const DEFAULT_ARMS: [PassMask; 6] = [
+    PassMask::NONE,
+    PassMask::MOVES,
+    PassMask::REASSOC,
+    PassMask::SCADD,
+    PassMask::PLACEMENT,
+    PassMask::ALL,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_label_roundtrip() {
+        for spec in ["none", "all", "moves", "moves,scadd", "reassoc,cse"] {
+            let m = PassMask::parse(spec).unwrap();
+            assert_eq!(PassMask::parse(&m.label()).unwrap(), m);
+        }
+        assert_eq!(
+            PassMask::parse("scadd,moves").unwrap().label(),
+            "moves,scadd"
+        );
+        assert_eq!(PassMask::parse("place").unwrap(), PassMask::PLACEMENT);
+        assert_eq!(PassMask::ALL.label(), "all");
+        assert_eq!(PassMask::NONE.label(), "none");
+    }
+
+    #[test]
+    fn all_excludes_cse() {
+        assert!(!PassMask::ALL.contains(PassMask::CSE));
+        let five = PassMask::ALL.union(PassMask::CSE);
+        assert_eq!(five.label(), "moves,reassoc,scadd,placement,cse");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(PassMask::parse("frobnicate").is_err());
+        assert!(PassMask::parse("moves,frob").is_err());
+    }
+}

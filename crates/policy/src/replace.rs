@@ -1,0 +1,339 @@
+//! Pluggable trace-cache replacement.
+//!
+//! The trace cache keeps its own tag/payload arrays; a [`ReplacePolicy`]
+//! only tracks recency/re-reference state per `(set, way)` and answers one
+//! question: *which way do I evict?* The cache reports three events —
+//! hit, insert, victim-needed — with a monotonically increasing `tick`
+//! (the cache's lookup/insert clock), and for inserts the line's
+//! [`LineAttrs`] so provenance-aware policies can set insertion
+//! temperature.
+//!
+//! [`ReplacementKind::Lru`] is the paper machine's behavior extracted
+//! verbatim: stamp on hit and insert, evict the first way with the
+//! minimum stamp. Same tick stream ⇒ byte-identical victims.
+
+/// Facts about a segment being inserted, abstracted away from
+/// `tracefill-core`'s `Segment` type.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineAttrs {
+    /// The segment ends in a backward (loop) branch — likely hot.
+    pub loop_seg: bool,
+    /// At least one slot was rewritten by a fill-unit optimization pass
+    /// (the fill unit invested work in this line).
+    pub transformed: bool,
+    /// Segment length in slots.
+    pub len: u8,
+}
+
+/// Which replacement policy the trace cache runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ReplacementKind {
+    /// Least-recently-used (the paper's behavior).
+    #[default]
+    Lru,
+    /// Static re-reference interval prediction (2-bit RRPV).
+    Srrip,
+    /// TRRIP-style temperature policy: insertion temperature from segment
+    /// provenance, warmed by hit history.
+    Trrip,
+}
+
+impl ReplacementKind {
+    /// Parses a policy name: `lru`, `srrip`, or `trrip`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending spec.
+    pub fn parse(spec: &str) -> Result<ReplacementKind, String> {
+        match spec {
+            "lru" => Ok(ReplacementKind::Lru),
+            "srrip" => Ok(ReplacementKind::Srrip),
+            "trrip" => Ok(ReplacementKind::Trrip),
+            other => Err(format!(
+                "unknown replacement policy `{other}` (expected lru, srrip, trrip)"
+            )),
+        }
+    }
+
+    /// The canonical name (inverse of [`parse`](Self::parse)).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplacementKind::Lru => "lru",
+            ReplacementKind::Srrip => "srrip",
+            ReplacementKind::Trrip => "trrip",
+        }
+    }
+
+    /// Builds the policy state for a cache of `sets` × `ways`.
+    #[must_use]
+    pub fn build(self, sets: usize, ways: usize) -> Box<dyn ReplacePolicy> {
+        match self {
+            ReplacementKind::Lru => Box::new(Lru::new(sets, ways)),
+            ReplacementKind::Srrip => Box::new(Srrip::new(sets, ways)),
+            ReplacementKind::Trrip => Box::new(Trrip::new(sets, ways)),
+        }
+    }
+}
+
+/// Replacement state for a set-associative cache.
+///
+/// The cache guarantees `victim` is only called on a full set, and that
+/// ways `0..occupied` of a set are filled left to right before the first
+/// eviction.
+pub trait ReplacePolicy: std::fmt::Debug + Send {
+    /// A lookup hit line `(set, way)` at time `tick`.
+    fn on_hit(&mut self, set: usize, way: usize, tick: u64);
+    /// A new line landed in `(set, way)` at time `tick`.
+    fn on_insert(&mut self, set: usize, way: usize, tick: u64, attrs: &LineAttrs);
+    /// Chooses the way to evict from a full `set`.
+    fn victim(&mut self, set: usize, ways_used: usize) -> usize;
+    /// The policy's canonical name (matches [`ReplacementKind::name`]).
+    fn name(&self) -> &'static str;
+}
+
+/// Least-recently-used: per-way stamps, first-argmin victim.
+#[derive(Debug)]
+struct Lru {
+    ways: usize,
+    stamp: Vec<u64>,
+}
+
+impl Lru {
+    fn new(sets: usize, ways: usize) -> Lru {
+        Lru {
+            ways,
+            stamp: vec![0; sets * ways],
+        }
+    }
+}
+
+impl ReplacePolicy for Lru {
+    fn on_hit(&mut self, set: usize, way: usize, tick: u64) {
+        self.stamp[set * self.ways + way] = tick;
+    }
+
+    fn on_insert(&mut self, set: usize, way: usize, tick: u64, _attrs: &LineAttrs) {
+        self.stamp[set * self.ways + way] = tick;
+    }
+
+    fn victim(&mut self, set: usize, ways_used: usize) -> usize {
+        let base = set * self.ways;
+        let mut victim = 0usize;
+        let mut oldest = u64::MAX;
+        for w in 0..ways_used {
+            let s = self.stamp[base + w];
+            if s < oldest {
+                oldest = s;
+                victim = w;
+            }
+        }
+        victim
+    }
+
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+}
+
+/// SRRIP-2: two-bit re-reference prediction values. Insert at `LONG`
+/// (2), promote to 0 on hit, evict the first way at `DISTANT` (3), aging
+/// every way until one reaches it.
+#[derive(Debug)]
+struct Srrip {
+    ways: usize,
+    rrpv: Vec<u8>,
+}
+
+const RRPV_DISTANT: u8 = 3;
+const RRPV_LONG: u8 = 2;
+
+impl Srrip {
+    fn new(sets: usize, ways: usize) -> Srrip {
+        Srrip {
+            ways,
+            rrpv: vec![RRPV_DISTANT; sets * ways],
+        }
+    }
+}
+
+impl ReplacePolicy for Srrip {
+    fn on_hit(&mut self, set: usize, way: usize, _tick: u64) {
+        self.rrpv[set * self.ways + way] = 0;
+    }
+
+    fn on_insert(&mut self, set: usize, way: usize, _tick: u64, _attrs: &LineAttrs) {
+        self.rrpv[set * self.ways + way] = RRPV_LONG;
+    }
+
+    fn victim(&mut self, set: usize, ways_used: usize) -> usize {
+        let base = set * self.ways;
+        loop {
+            for w in 0..ways_used {
+                if self.rrpv[base + w] >= RRPV_DISTANT {
+                    return w;
+                }
+            }
+            for w in 0..ways_used {
+                self.rrpv[base + w] += 1;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "srrip"
+    }
+}
+
+/// TRRIP-style temperature replacement.
+///
+/// Each line carries a temperature in `0..=TEMP_MAX`; hotter lines survive
+/// longer. Insertion temperature comes from segment provenance — loop
+/// segments and fill-unit-transformed segments are predicted hot (the
+/// fill unit's optimization effort is worth protecting) — and every hit
+/// warms the line by one step. Eviction takes the coldest way,
+/// tie-breaking on the older stamp, then the lower way index.
+#[derive(Debug)]
+struct Trrip {
+    ways: usize,
+    temp: Vec<u8>,
+    stamp: Vec<u64>,
+}
+
+const TEMP_MAX: u8 = 3;
+
+impl Trrip {
+    fn new(sets: usize, ways: usize) -> Trrip {
+        Trrip {
+            ways,
+            temp: vec![0; sets * ways],
+            stamp: vec![0; sets * ways],
+        }
+    }
+}
+
+impl ReplacePolicy for Trrip {
+    fn on_hit(&mut self, set: usize, way: usize, tick: u64) {
+        let i = set * self.ways + way;
+        self.temp[i] = (self.temp[i] + 1).min(TEMP_MAX);
+        self.stamp[i] = tick;
+    }
+
+    fn on_insert(&mut self, set: usize, way: usize, tick: u64, attrs: &LineAttrs) {
+        let i = set * self.ways + way;
+        self.temp[i] = match (attrs.loop_seg, attrs.transformed) {
+            (true, true) => 2,
+            (true, false) | (false, true) => 1,
+            (false, false) => 0,
+        };
+        self.stamp[i] = tick;
+    }
+
+    fn victim(&mut self, set: usize, ways_used: usize) -> usize {
+        let base = set * self.ways;
+        let mut victim = 0usize;
+        let mut best = (u8::MAX, u64::MAX);
+        for w in 0..ways_used {
+            let key = (self.temp[base + w], self.stamp[base + w]);
+            if key < best {
+                best = key;
+                victim = w;
+            }
+        }
+        // Cool the survivors so stale-hot lines cannot pin a set forever.
+        for w in 0..ways_used {
+            if w != victim {
+                let i = base + w;
+                self.temp[i] = self.temp[i].saturating_sub(1);
+            }
+        }
+        victim
+    }
+
+    fn name(&self) -> &'static str {
+        "trrip"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: LineAttrs = LineAttrs {
+        loop_seg: false,
+        transformed: false,
+        len: 8,
+    };
+
+    #[test]
+    fn kind_parse_name_roundtrip() {
+        for k in [
+            ReplacementKind::Lru,
+            ReplacementKind::Srrip,
+            ReplacementKind::Trrip,
+        ] {
+            assert_eq!(ReplacementKind::parse(k.name()).unwrap(), k);
+            assert_eq!(k.build(4, 2).name(), k.name());
+        }
+        assert!(ReplacementKind::parse("mru").is_err());
+    }
+
+    #[test]
+    fn lru_evicts_first_oldest() {
+        let mut p = ReplacementKind::Lru.build(1, 4);
+        for w in 0..4 {
+            p.on_insert(0, w, w as u64, &A);
+        }
+        p.on_hit(0, 0, 10);
+        assert_eq!(p.victim(0, 4), 1, "way 1 now oldest");
+        // Equal stamps: the first way wins, matching min_by_key.
+        let mut q = ReplacementKind::Lru.build(1, 3);
+        for w in 0..3 {
+            q.on_insert(0, w, 5, &A);
+        }
+        assert_eq!(q.victim(0, 3), 0);
+    }
+
+    #[test]
+    fn srrip_protects_reused_lines() {
+        let mut p = ReplacementKind::Srrip.build(1, 2);
+        p.on_insert(0, 0, 1, &A);
+        p.on_insert(0, 1, 2, &A);
+        p.on_hit(0, 0, 3);
+        // Way 0 at rrpv 0, way 1 at 2; aging reaches way 1 first.
+        assert_eq!(p.victim(0, 2), 1);
+    }
+
+    #[test]
+    fn trrip_prefers_evicting_cold_provenance() {
+        let mut p = ReplacementKind::Trrip.build(1, 2);
+        let hot = LineAttrs {
+            loop_seg: true,
+            transformed: true,
+            len: 12,
+        };
+        p.on_insert(0, 0, 1, &hot);
+        p.on_insert(0, 1, 2, &A);
+        assert_eq!(p.victim(0, 2), 1, "plain line colder than loop line");
+    }
+
+    #[test]
+    fn trrip_cooling_unpins_stale_lines() {
+        let mut p = ReplacementKind::Trrip.build(1, 2);
+        let hot = LineAttrs {
+            loop_seg: true,
+            transformed: true,
+            len: 12,
+        };
+        p.on_insert(0, 0, 1, &hot);
+        p.on_insert(0, 1, 2, &A);
+        // Repeated evictions cool way 0; without hits it eventually loses
+        // the tie-break on stamp recency.
+        assert_eq!(p.victim(0, 2), 1);
+        p.on_insert(0, 1, 3, &A);
+        assert_eq!(p.victim(0, 2), 1);
+        p.on_insert(0, 1, 4, &A);
+        // Way 0 cooled to 0; stamps 1 < 4, so way 0 finally goes.
+        assert_eq!(p.victim(0, 2), 0);
+    }
+}

@@ -392,6 +392,17 @@ impl Simulator {
         metrics.add("retire.scadd", self.stats.retired_scadd);
         metrics.add("retire.from_tc", self.stats.retired_from_tc);
         metrics.add("retire.total", self.stats.retired);
+        let tc = self.tcache.stats();
+        metrics.add("tcache.hits", tc.hits);
+        metrics.add("tcache.misses", tc.misses);
+        metrics.add("tcache.full_path_hits", tc.full_path_hits);
+        metrics.add("tcache.fills", tc.fills);
+        metrics.add("tcache.refreshes", tc.refreshes);
+        metrics.add("tcache.evictions", tc.evictions);
+        metrics.add(
+            &format!("policy.evict.{}", self.tcache.policy_name()),
+            tc.evictions,
+        );
         Report {
             stats: self.stats,
             tcache: self.tcache.stats(),

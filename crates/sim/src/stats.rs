@@ -189,7 +189,8 @@ impl Report {
                     .with("misses", self.tcache.misses)
                     .with("full_path_hits", self.tcache.full_path_hits)
                     .with("fills", self.tcache.fills)
-                    .with("refreshes", self.tcache.refreshes),
+                    .with("refreshes", self.tcache.refreshes)
+                    .with("evictions", self.tcache.evictions),
             )
             .with(
                 "caches",
@@ -229,6 +230,7 @@ impl Report {
                 full_path_hits: u(tc, "full_path_hits"),
                 fills: u(tc, "fills"),
                 refreshes: u(tc, "refreshes"),
+                evictions: u(tc, "evictions"),
             },
             caches: (
                 cache(caches.and_then(|c| c.get("l1i"))),

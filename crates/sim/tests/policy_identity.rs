@@ -1,0 +1,106 @@
+//! Adaptive-policy safety net: the controller and replacement-policy
+//! plumbing must be invisible when pinned to the legacy configuration, and
+//! must stay functionally correct (oracle-clean) when actually adapting.
+
+use tracefill_core::config::{
+    ControllerConfig, ControllerMode, OptConfig, PassMask, ReplacementKind,
+};
+use tracefill_sim::{SimConfig, Simulator};
+
+fn run_counts(cfg: SimConfig, bench: &str, instrs: u64) -> (u64, u64, u64, u64, u64) {
+    let b = tracefill_workloads::by_name(bench).unwrap();
+    let prog = b.program(b.scale_for(instrs * 2)).unwrap();
+    let mut sim = Simulator::new(&prog, cfg);
+    // A lockstep divergence (or strict-verify failure) comes back as Err.
+    sim.run_instrs(instrs)
+        .unwrap_or_else(|e| panic!("{bench}: {e}"));
+    let tc = sim.tcache_stats();
+    (
+        sim.cycle(),
+        sim.stats().retired,
+        tc.hits,
+        tc.misses,
+        tc.evictions,
+    )
+}
+
+/// The identity property from the issue: `Static(all)` + LRU must be
+/// bit-for-bit the current simulator — same cycles, same retirement, same
+/// trace-cache traffic — across the whole workload suite.
+#[test]
+fn static_all_plus_lru_is_bit_identical_to_baseline() {
+    for bench in tracefill_workloads::names() {
+        let baseline = run_counts(SimConfig::with_opts(OptConfig::all()), bench, 4_000);
+
+        let mut cfg = SimConfig::with_opts(OptConfig::all());
+        cfg.fill.controller = ControllerConfig {
+            mode: ControllerMode::Static(PassMask::ALL),
+            epoch_fills: 64,
+            seed: 0,
+        };
+        cfg.tcache.policy = ReplacementKind::Lru;
+        let pinned = run_counts(cfg, bench, 4_000);
+
+        assert_eq!(
+            baseline, pinned,
+            "{bench}: Static(all)+LRU must not perturb the machine"
+        );
+    }
+}
+
+/// Adaptive controllers change *which* passes run per epoch, never *what*
+/// the program computes: with the lockstep oracle and strict segment
+/// verification on (the `SimConfig::default()` posture), adaptive runs must
+/// finish with zero divergences.
+#[test]
+fn adaptive_controllers_are_oracle_clean() {
+    let modes = [
+        ControllerMode::EpsilonGreedy { epsilon_milli: 250 },
+        ControllerMode::Ucb { c_milli: 1414 },
+    ];
+    for mode in modes {
+        for bench in ["m88k", "comp", "ijpeg"] {
+            let mut cfg = SimConfig::with_opts(OptConfig::all());
+            assert!(cfg.oracle_check && cfg.fill.strict_verify);
+            cfg.fill.controller = ControllerConfig {
+                mode,
+                epoch_fills: 16, // small epochs: force many arm switches
+                seed: 7,
+            };
+            let (cycles, retired, ..) = run_counts(cfg, bench, 6_000);
+            assert!(retired >= 6_000, "{bench} under {mode:?}");
+            assert!(cycles > 0);
+        }
+    }
+}
+
+/// Alternate replacement policies reorder evictions but never correctness:
+/// SRRIP and TRRIP runs stay oracle-clean and still hit in the cache.
+#[test]
+fn alternate_replacement_policies_are_oracle_clean() {
+    for policy in [ReplacementKind::Srrip, ReplacementKind::Trrip] {
+        let mut cfg = SimConfig::with_opts(OptConfig::all());
+        cfg.tcache.policy = policy;
+        let (_, retired, hits, ..) = run_counts(cfg, "m88k", 6_000);
+        assert!(retired >= 6_000, "{policy:?}");
+        assert!(hits > 0, "{policy:?}: trace cache never hit");
+    }
+}
+
+/// Same seed, same trajectory: an adaptive run is fully deterministic.
+#[test]
+fn adaptive_runs_are_deterministic() {
+    let mk = || {
+        let mut cfg = SimConfig::with_opts(OptConfig::all());
+        cfg.fill.controller = ControllerConfig {
+            mode: ControllerMode::EpsilonGreedy { epsilon_milli: 250 },
+            epoch_fills: 16,
+            seed: 42,
+        };
+        cfg.tcache.policy = ReplacementKind::Trrip;
+        cfg
+    };
+    let a = run_counts(mk(), "comp", 5_000);
+    let b = run_counts(mk(), "comp", 5_000);
+    assert_eq!(a, b);
+}

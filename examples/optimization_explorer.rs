@@ -12,24 +12,10 @@ use tracefill_sim::{SimConfig, Simulator};
 use tracefill_workloads::Benchmark;
 
 fn parse_opts(spec: &str) -> OptConfig {
-    if spec == "all" {
-        return OptConfig::all();
-    }
-    let mut o = OptConfig::none();
-    for part in spec.split(',').filter(|p| !p.is_empty()) {
-        match part {
-            "moves" => o.moves = true,
-            "reassoc" => o.reassoc = true,
-            "scadd" => o.scadd = true,
-            "placement" | "place" => o.placement = true,
-            "none" => {}
-            other => {
-                eprintln!("unknown optimization `{other}` (use moves,reassoc,scadd,placement,all)");
-                std::process::exit(2);
-            }
-        }
-    }
-    o
+    OptConfig::from_name(spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
 }
 
 fn measure(b: &Benchmark, opts: OptConfig) -> (f64, f64) {

@@ -71,4 +71,18 @@ cmp "$SMOKE_DIR/inject1.json" "$SMOKE_DIR/inject2.json"
 # With all checkers armed (the default), nothing slips through silently.
 grep -q '"silent": 0' "$SMOKE_DIR/inject1.json"
 
+echo "==> adaptive-policy smoke (same seed => byte-identical adapt report)"
+cargo run --release -q -p tracefill-bench --bin tracefill -- \
+    adapt --bench m88k,comp --opts none:all --mode ucb:100 --seed 1 \
+    --warmup 4000 --budget 4000 --epoch 64 --json > "$SMOKE_DIR/adapt1.json"
+cargo run --release -q -p tracefill-bench --bin tracefill -- \
+    adapt --bench m88k,comp --opts none:all --mode ucb:100 --seed 1 \
+    --warmup 4000 --budget 4000 --epoch 64 --json > "$SMOKE_DIR/adapt2.json"
+cmp "$SMOKE_DIR/adapt1.json" "$SMOKE_DIR/adapt2.json"
+grep -q '"controller": "ucb:100"' "$SMOKE_DIR/adapt1.json"
+grep -q '"best_single_static"' "$SMOKE_DIR/adapt1.json"
+# The replacement-policy axis stays live through the plain run path.
+cargo run --release -q -p tracefill-bench --bin tracefill -- \
+    run "$SMOKE_DIR/smoke.s" --replace trrip --json > "$SMOKE_DIR/trrip.json"
+
 echo "==> OK"

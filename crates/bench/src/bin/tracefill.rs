@@ -3,17 +3,20 @@
 //! ```text
 //! tracefill run <file.s> [--opts all|none|moves,reassoc,scadd,placement,cse]
 //!                        [--replace lru|srrip|trrip]
-//!                        [--input 1,2,3] [--max-cycles N] [--json]
+//!                        [--input 1,2,3] [--max-cycles N] [--json] [--ledger]
 //!                        [--stats-json <file>]  # write the full report JSON
 //!                        [--trace N]   # print the last N pipeline events
 //! tracefill trace <file.s> [--out <file>] [--format jsonl|chrome] [--depth N]
-//!                          [--opts SPEC] [--input 1,2,3] [--max-cycles N]
+//!                          [--opts SPEC] [--input 1,2,3] [--max-cycles N] [--ledger]
 //! tracefill interp <file.s> [--input 1,2,3]
 //! tracefill characterize <file.s>
 //! tracefill suite [--opts SPEC] [--budget N]
+//! tracefill ledger [--bench NAME[,NAME...]|all] [--opts SPEC] [--replace P]
+//!                  [--seed N] [--warmup N] [--budget N] [--latency N]
+//!                  [--top N] [--max-cycles N] [--json] [--out <file>]
 //! tracefill campaign <fig8|table2|spec.json> [--out results.jsonl] [--jobs N] [--quiet]
 //!                    [--quarantine-after K] [--wall-budget-ms N]
-//! tracefill report <results.jsonl> [--format fig8|table2|cpi|summary|all]
+//! tracefill report <results.jsonl> [--format fig8|table2|cpi|ledger|summary|all]
 //! tracefill verify [<file.s>] [--opts SPEC[:SPEC...]] [--budget N] [--max-cycles N]
 //! tracefill inject [--bench NAME] [--opts SPEC[:SPEC...]] [--seed N] [--trials N]
 //!                  [--faults N] [--horizon N] [--kinds a,b,c] [--detect strict|oracle|none]
@@ -44,14 +47,17 @@ use tracefill_util::Json;
 fn usage() -> ! {
     eprintln!(
         "usage:
-  tracefill run <file.s> [--opts SPEC] [--replace lru|srrip|trrip] [--input a,b,c] [--max-cycles N] [--json] [--stats-json <file>] [--trace N]
-  tracefill trace <file.s> [--out <file>] [--format jsonl|chrome] [--depth N] [--opts SPEC] [--input a,b,c] [--max-cycles N]
+  tracefill run <file.s> [--opts SPEC] [--replace lru|srrip|trrip] [--input a,b,c] [--max-cycles N] [--json] [--ledger] [--stats-json <file>] [--trace N]
+  tracefill trace <file.s> [--out <file>] [--format jsonl|chrome] [--depth N] [--opts SPEC] [--input a,b,c] [--max-cycles N] [--ledger]
   tracefill interp <file.s> [--input a,b,c]
   tracefill characterize <file.s>
   tracefill suite [--opts SPEC] [--budget N]
+  tracefill ledger [--bench NAME[,NAME...]|all] [--opts SPEC] [--replace lru|srrip|trrip]
+                   [--seed N] [--warmup N] [--budget N] [--latency N] [--top N]
+                   [--max-cycles N] [--json] [--out <file>]
   tracefill campaign <fig8|table2|spec.json> [--out results.jsonl] [--jobs N] [--quiet]
                      [--quarantine-after K] [--wall-budget-ms N]
-  tracefill report <results.jsonl> [--format fig8|table2|cpi|summary|all]
+  tracefill report <results.jsonl> [--format fig8|table2|cpi|ledger|summary|all]
   tracefill verify [<file.s>] [--opts SPEC[:SPEC...]] [--budget N] [--max-cycles N]
   tracefill inject [--bench NAME] [--opts SPEC[:SPEC...]] [--seed N] [--trials N]
                    [--faults N] [--horizon N] [--kinds a,b,c] [--detect strict|oracle|none]
@@ -119,6 +125,27 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> 
     }
 }
 
+/// Validates an output path *before* the simulation runs: the parent
+/// directory must exist and the path must not name a directory, so a
+/// typo'd `--out`/`--stats-json` fails in milliseconds instead of after
+/// minutes of simulated cycles.
+fn ensure_writable_path(path: &str) {
+    let p = std::path::Path::new(path);
+    if p.is_dir() {
+        eprintln!("cannot write {path}: path is a directory");
+        exit(1);
+    }
+    if let Some(parent) = p.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if !parent.is_dir() {
+            eprintln!(
+                "cannot write {path}: parent directory `{}` does not exist",
+                parent.display()
+            );
+            exit(1);
+        }
+    }
+}
+
 fn load(path: &str) -> Program {
     let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
@@ -149,19 +176,24 @@ fn cmd_run(args: &[String]) {
     let max_cycles: u64 = parse_flag(args, "--max-cycles", 200_000_000);
     let json = args.iter().any(|a| a == "--json");
     let trace_depth: usize = parse_flag(args, "--trace", 0);
+    let stats_json = flag_value(args, "--stats-json");
+    if let Some(p) = &stats_json {
+        ensure_writable_path(p);
+    }
 
     let mut cfg = SimConfig {
         trace_depth,
         ..SimConfig::with_opts(opts)
     };
     cfg.tcache.policy = parse_replace(args);
+    cfg.ledger = args.iter().any(|a| a == "--ledger");
     let mut sim = Simulator::with_io(&prog, cfg, parse_input(args));
     let exit_state = sim.run(max_cycles).unwrap_or_else(|e| {
         eprintln!("simulation error: {e}");
         exit(1);
     });
     let report = sim.report();
-    if let Some(stats_path) = flag_value(args, "--stats-json") {
+    if let Some(stats_path) = stats_json {
         let text = report.to_json().dump_pretty(2);
         std::fs::write(&stats_path, text + "\n").unwrap_or_else(|e| {
             eprintln!("cannot write {stats_path}: {e}");
@@ -192,6 +224,15 @@ fn cmd_run(args: &[String]) {
         "bypass-delayed: {:.1}% of FU-executed instructions",
         s.bypass_delay_fraction() * 100.0
     );
+    if sim.ledger().enabled() {
+        let led = sim.ledger();
+        let hits: u64 = led.records().map(|r| r.hits).sum();
+        let doa = led.records().filter(|r| r.is_doa()).count();
+        println!(
+            "ledger      : {} segments, {hits} hits, {doa} dead-on-arrival (see `tracefill ledger`)",
+            led.len()
+        );
+    }
     let cpi = report.cpi;
     if cpi.base > 0 {
         println!("CPI stack   : {:.4} total", 1.0 / s.ipc());
@@ -221,11 +262,21 @@ fn cmd_trace(args: &[String]) {
     }
     let max_cycles: u64 = parse_flag(args, "--max-cycles", 200_000_000);
     let format = flag_value(args, "--format").unwrap_or_else(|| "jsonl".into());
+    if !matches!(format.as_str(), "jsonl" | "chrome") {
+        eprintln!("unknown trace format `{format}` (expected jsonl, chrome)");
+        exit(2);
+    }
+    let ledger = args.iter().any(|a| a == "--ledger");
+    let out = flag_value(args, "--out");
+    if let Some(o) = &out {
+        ensure_writable_path(o);
+    }
 
-    let cfg = SimConfig {
+    let mut cfg = SimConfig {
         trace_depth: depth,
         ..SimConfig::with_opts(opts)
     };
+    cfg.ledger = ledger;
     let mut sim = Simulator::with_io(&prog, cfg, parse_input(args));
     sim.run(max_cycles).unwrap_or_else(|e| {
         eprintln!("simulation error: {e}");
@@ -233,13 +284,18 @@ fn cmd_trace(args: &[String]) {
     });
     let text = match format.as_str() {
         "jsonl" => sim.trace().to_jsonl(),
-        "chrome" => sim.trace().to_chrome_trace().dump_pretty(2) + "\n",
-        other => {
-            eprintln!("unknown trace format `{other}` (expected jsonl, chrome)");
-            exit(2);
+        // With the ledger on, the chrome export gains one track per
+        // segment life (fill → eviction) alongside the pipeline events.
+        "chrome" if ledger => {
+            sim.trace()
+                .to_chrome_trace_with_ledger(sim.ledger(), sim.cycle())
+                .dump_pretty(2)
+                + "\n"
         }
+        "chrome" => sim.trace().to_chrome_trace().dump_pretty(2) + "\n",
+        _ => unreachable!("format validated above"),
     };
-    match flag_value(args, "--out") {
+    match out {
         Some(out) => {
             std::fs::write(&out, &text).unwrap_or_else(|e| {
                 eprintln!("cannot write {out}: {e}");
@@ -685,13 +741,17 @@ fn cmd_adapt(args: &[String]) {
     spec.budget = parse_flag(args, "--budget", spec.budget);
     spec.epoch_fills = parse_flag::<u64>(args, "--epoch", spec.epoch_fills).max(1);
     spec.max_cycles = parse_flag(args, "--max-cycles", spec.max_cycles);
+    let out = flag_value(args, "--out");
+    if let Some(o) = &out {
+        ensure_writable_path(o);
+    }
 
     let report = run_adapt(&spec).unwrap_or_else(|e| {
         eprintln!("adapt failed: {e}");
         exit(1);
     });
     let text = report.dump_pretty(2) + "\n";
-    if let Some(out) = flag_value(args, "--out") {
+    if let Some(out) = out {
         std::fs::write(&out, &text).unwrap_or_else(|e| {
             eprintln!("cannot write {out}: {e}");
             exit(1);
@@ -760,6 +820,186 @@ fn cmd_adapt(args: &[String]) {
     }
 }
 
+/// Segment-lifetime ledger report: runs each benchmark with the ledger
+/// on and folds every segment's life — fill cycle, passes applied, cache
+/// hits, eviction, retired uops — into the per-pass ROI report. The JSON
+/// is byte-deterministic: two same-seed invocations emit identical bytes.
+fn cmd_ledger(args: &[String]) {
+    let bench_arg = flag_value(args, "--bench").unwrap_or_else(|| "all".into());
+    let benches: Vec<&'static str> = if bench_arg == "all" {
+        tracefill_workloads::names().to_vec()
+    } else {
+        bench_arg
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|name| {
+                tracefill_workloads::by_name(name)
+                    .map(|b| b.name)
+                    .unwrap_or_else(|| {
+                        eprintln!(
+                            "unknown benchmark `{name}` (expected one of: {})",
+                            tracefill_workloads::names().join(", ")
+                        );
+                        exit(2);
+                    })
+            })
+            .collect()
+    };
+    if benches.is_empty() {
+        usage();
+    }
+    let opt_spec = flag_value(args, "--opts").unwrap_or_else(|| "all".into());
+    let opts = parse_opts(&opt_spec);
+    let policy = parse_replace(args);
+    let seed: u64 = parse_flag(args, "--seed", 0);
+    let warmup: u64 = parse_flag(args, "--warmup", 20_000);
+    let budget: u64 = parse_flag(args, "--budget", 100_000);
+    let latency: u32 = parse_flag(args, "--latency", 1);
+    let top: usize = parse_flag(args, "--top", 5);
+    let max_cycles: u64 = parse_flag(args, "--max-cycles", 50_000_000);
+    let json = args.iter().any(|a| a == "--json");
+    let out = flag_value(args, "--out");
+    if let Some(o) = &out {
+        ensure_writable_path(o);
+    }
+
+    let mut bench_docs = Json::object();
+    let mut human = String::new();
+    for name in &benches {
+        let bench = tracefill_workloads::by_name(name).expect("validated above");
+        let prog = bench
+            .program(bench.scale_for((warmup + budget) * 2))
+            .unwrap_or_else(|e| {
+                eprintln!("{name}: kernel failed to assemble: {e}");
+                exit(1);
+            });
+        let mut cfg = SimConfig::with_opts(opts);
+        cfg.fill.latency = latency;
+        cfg.tcache.policy = policy;
+        cfg.ledger = true;
+        let mut sim = Simulator::new(&prog, cfg);
+        sim.run_budgeted(warmup + budget, max_cycles, None)
+            .unwrap_or_else(|e| {
+                eprintln!("{name}: simulation error: {e}");
+                exit(1);
+            });
+        let rep = sim.ledger().report(sim.cycle(), top);
+        render_ledger_bench(&mut human, name, &rep);
+        bench_docs = bench_docs.with(
+            name,
+            Json::object()
+                .with("cycles", sim.cycle())
+                .with("retired", sim.stats().retired)
+                .with("ledger", rep),
+        );
+    }
+    let doc = Json::object()
+        .with("opts", opt_spec.as_str())
+        .with("replace", policy.name())
+        .with("latency", u64::from(latency))
+        .with("seed", seed)
+        .with("warmup", warmup)
+        .with("budget", budget)
+        .with("top", top)
+        .with("benches", bench_docs);
+    let text = doc.dump_pretty(2) + "\n";
+    if let Some(o) = &out {
+        std::fs::write(o, &text).unwrap_or_else(|e| {
+            eprintln!("cannot write {o}: {e}");
+            exit(1);
+        });
+        eprintln!("wrote ledger report -> {o}");
+    }
+    if json {
+        print!("{text}");
+    } else {
+        println!(
+            "segment ledger: opts={opt_spec} replace={} latency={latency} seed={seed} warmup={warmup} budget={budget}",
+            policy.name()
+        );
+        print!("{human}");
+    }
+}
+
+/// Renders one benchmark's ledger report as the human-readable block of
+/// `tracefill ledger`. Reads only the deterministic report JSON, so the
+/// text output is as reproducible as the `--json` one.
+fn render_ledger_bench(s: &mut String, name: &str, rep: &Json) {
+    use std::fmt::Write;
+    let n = |key: &str| rep.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let q = |key: &str, p: f64| {
+        rep.get(key)
+            .and_then(|j| tracefill_util::Histogram::from_json(j).ok())
+            .map_or(0.0, |h| h.quantile(p))
+    };
+    let _ = writeln!(
+        s,
+        "\n{name}: {} segments ({} resident, {} conflict-evicted, {} refresh-displaced, {} dead-on-arrival)",
+        n("segments"),
+        n("resident"),
+        rep.get("evicted").map_or(0, |e| e.get("conflict").and_then(Json::as_u64).unwrap_or(0)),
+        rep.get("evicted").map_or(0, |e| e.get("refresh").and_then(Json::as_u64).unwrap_or(0)),
+        n("doa"),
+    );
+    let _ = writeln!(
+        s,
+        "  hits {}  uops fetched/retired/squashed {}/{}/{}  reuse p50/p90 {:.1}/{:.1}  residency p50 {:.0} cycles",
+        n("hits"),
+        n("uops_fetched"),
+        n("uops_retired"),
+        n("uops_squashed"),
+        q("reuse", 0.5),
+        q("reuse", 0.9),
+        q("residency", 0.5),
+    );
+    let _ = write!(s, "  est cycles saved:");
+    if let Some(per_pass) = rep.get("per_pass") {
+        for pass in ["moves", "cse", "reassoc", "scadd", "placement"] {
+            let saved = per_pass
+                .get(pass)
+                .and_then(|p| p.get("est_cycles_saved"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            let _ = write!(s, " {pass}={saved}");
+        }
+    }
+    let _ = writeln!(s);
+    let top = rep.get("top").and_then(Json::as_arr);
+    if top.is_some_and(|t| !t.is_empty()) {
+        let _ = writeln!(
+            s,
+            "  {:>6} {:>10} {:>4} {:<13} {:>6} {:>9} {:>6}  passes",
+            "seg", "pc", "len", "end", "hits", "uops_ret", "saved"
+        );
+    }
+    for row in top.into_iter().flatten() {
+        let g = |key: &str| row.get(key).and_then(Json::as_u64).unwrap_or(0);
+        let passes: Vec<&str> = row
+            .get("passes")
+            .and_then(Json::as_arr)
+            .into_iter()
+            .flatten()
+            .filter_map(Json::as_str)
+            .collect();
+        let _ = writeln!(
+            s,
+            "  {:>6} {:#010x} {:>4} {:<13} {:>6} {:>9} {:>6}  {}",
+            g("seg_id"),
+            g("start_pc"),
+            g("len"),
+            row.get("end").and_then(Json::as_str).unwrap_or("?"),
+            g("hits"),
+            g("uops_retired"),
+            g("est_cycles_saved"),
+            if passes.is_empty() {
+                "-".to_string()
+            } else {
+                passes.join("+")
+            },
+        );
+    }
+}
+
 fn cmd_report(args: &[String]) {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         usage()
@@ -780,6 +1020,7 @@ fn cmd_report(args: &[String]) {
         "fig8" => print!("{}", report::fig8_table(&records)),
         "table2" => print!("{}", report::table2_table(&records)),
         "cpi" => print!("{}", report::cpi_table(&records)),
+        "ledger" => print!("{}", report::ledger_table(&records)),
         "summary" => print!("{}", report::summary(&records)),
         "all" => {
             print!("{}", report::summary(&records));
@@ -789,9 +1030,13 @@ fn cmd_report(args: &[String]) {
             print!("{}", report::table2_table(&records));
             println!();
             print!("{}", report::cpi_table(&records));
+            println!();
+            print!("{}", report::ledger_table(&records));
         }
         other => {
-            eprintln!("unknown report format `{other}` (expected fig8, table2, cpi, summary, all)");
+            eprintln!(
+                "unknown report format `{other}` (expected fig8, table2, cpi, ledger, summary, all)"
+            );
             exit(2);
         }
     }
@@ -805,6 +1050,7 @@ fn main() {
         Some("interp") => cmd_interp(&args[1..]),
         Some("characterize") => cmd_characterize(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
+        Some("ledger") => cmd_ledger(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),

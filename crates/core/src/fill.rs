@@ -168,6 +168,7 @@ impl FillUnit {
             return;
         };
         seg.provenance.seg_id = self.next_seg_id;
+        seg.provenance.build_cycle = now;
         self.next_seg_id += 1;
         // The controller's current arm gates which passes run this epoch;
         // pass parameters always come from the static configuration.

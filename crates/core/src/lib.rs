@@ -57,11 +57,13 @@
 pub mod builder;
 pub mod config;
 pub mod fill;
+pub mod ledger;
 pub mod opt;
 pub mod segment;
 pub mod tcache;
 
 pub use config::{FillConfig, OptConfig, TraceCacheConfig};
 pub use fill::{FillUnit, VerifyFailure};
+pub use ledger::{EvictCause, Ledger, SegRecord, SegSpan};
 pub use segment::{Provenance, SegSlot, Segment, SrcRef};
-pub use tcache::TraceCache;
+pub use tcache::{InsertOutcome, TraceCache};

@@ -128,6 +128,22 @@ pub enum SegEnd {
     Flushed,
 }
 
+impl SegEnd {
+    /// A stable snake_case name for reports (matches the
+    /// `fill.seg_end.*` metric suffixes).
+    pub fn name(self) -> &'static str {
+        match self {
+            SegEnd::Full => "full",
+            SegEnd::BranchLimit => "branch_limit",
+            SegEnd::Indirect => "indirect",
+            SegEnd::Serialize => "serialize",
+            SegEnd::Loop => "loop",
+            SegEnd::FetchAligned => "fetch_aligned",
+            SegEnd::Flushed => "flushed",
+        }
+    }
+}
+
 /// Fill-unit provenance carried by every segment so that downstream
 /// consumers — the lockstep oracle in particular — can attribute a
 /// misbehaving trace line back to the fill event that produced it and to
@@ -144,6 +160,10 @@ pub struct Provenance {
     /// Description of an injected fault applied to this segment, if any
     /// (set by the sim's fault injector; `None` in normal operation).
     pub fault: Option<String>,
+    /// Cycle the fill unit finalized this segment (0 when built outside a
+    /// fill unit). The segment ledger uses it to measure build-to-insert
+    /// and build-to-first-hit latencies.
+    pub build_cycle: u64,
 }
 
 impl Provenance {

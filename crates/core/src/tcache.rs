@@ -13,6 +13,7 @@
 use crate::config::TraceCacheConfig;
 use crate::segment::{SegEnd, Segment};
 use std::sync::Arc;
+pub use tracefill_policy::PolicyCounters;
 use tracefill_policy::{LineAttrs, ReplacePolicy};
 
 /// Hit/miss statistics of the trace cache.
@@ -67,6 +68,30 @@ pub struct TcHit {
     pub seg: Arc<Segment>,
     /// How far the predictions follow the embedded path.
     pub path: PathMatch,
+}
+
+/// What an [`insert`](TraceCache::insert) did to the cache, reported so
+/// the segment ledger can close the displaced line's lifetime record.
+#[derive(Debug, Clone)]
+pub enum InsertOutcome {
+    /// The segment landed in an empty way; nothing was displaced.
+    Filled,
+    /// The segment replaced a same-address, same-path line (counted in
+    /// [`TraceCacheStats::refreshes`]). The displaced segment is returned.
+    Refreshed(Arc<Segment>),
+    /// The segment displaced a different line from a full set (counted in
+    /// [`TraceCacheStats::evictions`]). The displaced segment is returned.
+    Evicted(Arc<Segment>),
+}
+
+impl InsertOutcome {
+    /// The displaced segment, if any line was displaced.
+    pub fn displaced(&self) -> Option<&Arc<Segment>> {
+        match self {
+            InsertOutcome::Filled => None,
+            InsertOutcome::Refreshed(s) | InsertOutcome::Evicted(s) => Some(s),
+        }
+    }
 }
 
 /// The trace cache.
@@ -196,8 +221,9 @@ impl TraceCache {
         }
     }
 
-    /// Writes a segment produced by the fill unit.
-    pub fn insert(&mut self, seg: Arc<Segment>) {
+    /// Writes a segment produced by the fill unit, reporting which line
+    /// (if any) it displaced.
+    pub fn insert(&mut self, seg: Arc<Segment>) -> InsertOutcome {
         self.clock += 1;
         let clock = self.clock;
         let set = self.set_of(seg.start_pc);
@@ -212,24 +238,35 @@ impl TraceCache {
             .iter()
             .position(|w| w.tag == seg.start_pc && w.seg.path_sig() == sig)
         {
-            set_ways[w].seg = seg;
+            let prev = std::mem::replace(&mut set_ways[w].seg, seg);
             self.policy.on_insert(set, w, clock, &attrs);
             self.stats.refreshes += 1;
-            return;
+            return InsertOutcome::Refreshed(prev);
         }
         let tag = seg.start_pc;
         if set_ways.len() < ways {
             let w = set_ways.len();
             set_ways.push(Way { tag, seg });
             self.policy.on_insert(set, w, clock, &attrs);
-            return;
+            return InsertOutcome::Filled;
         }
         // Full set: the replacement policy picks the way to displace.
-        let victim = self.policy.victim(set, set_ways.len());
+        let victim = self.policy.victim(set, set_ways.len(), clock);
         set_ways[victim].tag = tag;
-        set_ways[victim].seg = seg;
+        let prev = std::mem::replace(&mut set_ways[victim].seg, seg);
         self.policy.on_insert(set, victim, clock, &attrs);
         self.stats.evictions += 1;
+        InsertOutcome::Evicted(prev)
+    }
+
+    /// Hit / eviction / eviction-age totals from the replacement policy's
+    /// own bookkeeping. Cross-checkable against [`stats`](Self::stats):
+    /// `counters.hits == stats.hits` and
+    /// `counters.evictions == stats.evictions` always hold, because the
+    /// cache reports every hit and requests every victim through the
+    /// policy exactly once.
+    pub fn policy_counters(&self) -> PolicyCounters {
+        self.policy.counters()
     }
 
     /// Total storage currently occupied, in bits (for the paper's ≈156 KB
@@ -336,6 +373,52 @@ mod tests {
         // Different path is a separate way, not a refresh.
         tc.insert(seg_with_path(pc, false));
         assert_eq!(tc.stats().refreshes, 1);
+    }
+
+    #[test]
+    fn insert_outcome_reports_displaced_lines() {
+        let mut tc = small_tc();
+        let pc = 0x40_0000;
+        let first = seg_with_path(pc, true);
+        assert!(matches!(
+            tc.insert(Arc::clone(&first)),
+            InsertOutcome::Filled
+        ));
+        // Same start address, same path: the refresh hands back the line
+        // it replaced.
+        match tc.insert(seg_with_path(pc, true)) {
+            InsertOutcome::Refreshed(prev) => assert!(Arc::ptr_eq(&prev, &first)),
+            o => panic!("expected refresh, got {o:?}"),
+        }
+        // Different path lands in the second way without displacement.
+        assert!(tc.insert(seg_with_path(pc, false)).displaced().is_none());
+    }
+
+    #[test]
+    fn insert_outcome_and_policy_counters_cross_check() {
+        // Three pcs in the same set of a 2-way cache (set index is
+        // (pc>>2) & 3 here, so a 16-byte stride keeps the set).
+        let mut tc = small_tc();
+        let pcs = [0x1000u32, 0x1010, 0x1020];
+        assert!(matches!(
+            tc.insert(seg_with_path(pcs[0], true)),
+            InsertOutcome::Filled
+        ));
+        assert!(matches!(
+            tc.insert(seg_with_path(pcs[1], true)),
+            InsertOutcome::Filled
+        ));
+        assert!(tc.lookup(pcs[1], &[true]).is_some());
+        match tc.insert(seg_with_path(pcs[2], true)) {
+            InsertOutcome::Evicted(prev) => assert_eq!(prev.start_pc, pcs[0]),
+            o => panic!("expected eviction, got {o:?}"),
+        }
+        let c = tc.policy_counters();
+        assert_eq!(c.hits, tc.stats().hits);
+        assert_eq!(c.evictions, tc.stats().evictions);
+        // The victim entered at clock 1 and was displaced at clock 4
+        // (two inserts + one lookup before the displacing insert).
+        assert_eq!(c.evict_age_ticks, 3);
     }
 
     #[test]

@@ -85,6 +85,7 @@ impl AdaptSpec {
             policies: vec![self.policy.name().to_string()],
             controller,
             epoch_fills: self.epoch_fills,
+            ledger: false,
         }
     }
 }

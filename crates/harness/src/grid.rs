@@ -74,6 +74,11 @@ pub struct RunDescriptor {
     /// Epochs much shorter than trace-cache residence misattribute reward
     /// to the wrong arm, so adaptive sweeps want this large.
     pub epoch_fills: u64,
+    /// Collect the segment lifetime ledger during the run (per-cell
+    /// `ledger.*` metrics in the result row). Observation-only: the
+    /// simulation itself is identical either way, but the flag is part of
+    /// the id so ledgered rows never shadow plain ones.
+    pub ledger: bool,
 }
 
 impl RunDescriptor {
@@ -99,6 +104,9 @@ impl RunDescriptor {
         if self.controller != ControllerMode::Off {
             key.push_str(&format!(";controller={}", self.controller.label()));
             key.push_str(&format!(";epoch={}", self.epoch_fills));
+        }
+        if self.ledger {
+            key.push_str(";ledger=on");
         }
         format!("{:016x}", fnv1a64(key.as_bytes()))
     }
@@ -134,6 +142,9 @@ pub struct CampaignSpec {
     pub controller: String,
     /// Fills per controller epoch (ignored when `controller` is `off`).
     pub epoch_fills: u64,
+    /// Collect the segment lifetime ledger on every run (off by default;
+    /// see [`RunDescriptor::ledger`]).
+    pub ledger: bool,
 }
 
 impl CampaignSpec {
@@ -166,6 +177,7 @@ impl CampaignSpec {
             policies: vec!["lru".to_string()],
             controller: "off".to_string(),
             epoch_fills: 1024,
+            ledger: false,
         }
     }
 
@@ -229,6 +241,7 @@ impl CampaignSpec {
                                 policy,
                                 controller,
                                 epoch_fills: self.epoch_fills,
+                                ledger: self.ledger,
                             };
                             desc.run_id = desc.content_id();
                             out.push(desc);
@@ -286,6 +299,7 @@ impl CampaignSpec {
             )
             .with("controller", self.controller.as_str())
             .with("epoch_fills", self.epoch_fills)
+            .with("ledger", self.ledger)
     }
 
     /// Parses a spec from its JSON form. Omitted fields fall back to the
@@ -398,6 +412,11 @@ impl CampaignSpec {
             }
         };
 
+        let ledger = match v.get("ledger") {
+            None => defaults.ledger,
+            Some(j) => j.as_bool().ok_or_else(|| format!("bad `ledger`: {j:?}"))?,
+        };
+
         let spec = CampaignSpec {
             name,
             opt_sets,
@@ -411,6 +430,7 @@ impl CampaignSpec {
             policies,
             controller,
             epoch_fills: num("epoch_fills", defaults.epoch_fills)?.max(1),
+            ledger,
         };
         if spec.opt_sets.is_empty()
             || spec.fill_latencies.is_empty()
@@ -490,6 +510,30 @@ mod tests {
         assert!(CampaignSpec::from_json(r#"{"policies":["mru"]}"#).is_err());
         assert!(CampaignSpec::from_json(r#"{"controller":"thompson"}"#).is_err());
         assert!(CampaignSpec::from_json(r#"{"policies":[]}"#).is_err());
+    }
+
+    #[test]
+    fn ledger_toggle_splits_ids_but_default_stays_legacy() {
+        let mut spec = CampaignSpec::fig8();
+        let base = spec.expand();
+        spec.ledger = true;
+        let ledgered = spec.expand();
+        assert_eq!(base.len(), ledgered.len());
+        let base_ids: std::collections::HashSet<_> =
+            base.iter().map(|r| r.run_id.clone()).collect();
+        for r in &ledgered {
+            assert!(r.ledger);
+            assert!(
+                !base_ids.contains(&r.run_id),
+                "ledgered rows must not shadow plain rows"
+            );
+        }
+        // Round-trips through JSON.
+        let back = CampaignSpec::from_json(&spec.to_json().dump()).unwrap();
+        assert_eq!(spec, back);
+        // Specs stored before the flag existed default to off.
+        let old = CampaignSpec::from_json(r#"{"benchmarks":["m88k"]}"#).unwrap();
+        assert!(!old.ledger);
     }
 
     #[test]

@@ -340,6 +340,92 @@ pub fn table2_table(records: &[RunRecord]) -> String {
     s
 }
 
+/// The segment-ledger table: per-`(bench, opt, latency)` roll-up of the
+/// `ledger.*` metrics that ledgered runs carry in their registry, followed
+/// by a per-pass estimated-cycles-saved attribution (the ROI proxy:
+/// transforms × hits). Counters add and histograms merge across the seeds
+/// of a cell, so quantiles are over the union of segment lives, not means
+/// of per-seed quantiles. Rows without ledger metrics (ledger off, or
+/// recorded before the ledger existed) are skipped; if none carry them the
+/// table says so instead of rendering empty columns.
+#[must_use]
+pub fn ledger_table(records: &[RunRecord]) -> String {
+    const PASSES: [&str; 5] = ["moves", "cse", "reassoc", "scadd", "placement"];
+    let mut cells: BTreeMap<(usize, String, String, u32), tracefill_util::Registry> =
+        BTreeMap::new();
+    for r in records.iter().filter(|r| r.status.is_ok()) {
+        if r.metrics.counter("ledger.segments") == 0 {
+            continue;
+        }
+        let (ord, bench) = bench_order(&r.bench);
+        cells
+            .entry((ord, bench, r.opt_label.clone(), r.fill_latency))
+            .or_default()
+            .merge(&r.metrics);
+    }
+    if cells.is_empty() {
+        return "no rows carry ledger metrics (enable the segment ledger on the campaign)\n"
+            .to_string();
+    }
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:8} {:>12} {:>7} {:>6} {:>9} {:>7} {:>7} {:>9} {:>9} {:>12}",
+        "bench",
+        "cell",
+        "segs",
+        "doa",
+        "hits",
+        "reuse50",
+        "reuse90",
+        "resid50",
+        "evict c/r",
+        "uops retired"
+    );
+    for ((_, bench, opt, lat), m) in &cells {
+        let reuse = m.histogram("ledger.reuse");
+        let resid = m.histogram("ledger.residency");
+        let _ = writeln!(
+            s,
+            "{:8} {:>12} {:>7} {:>6} {:>9} {:>7.1} {:>7.1} {:>9.0} {:>9} {:>12}",
+            bench,
+            format!("{opt}@lat{lat}"),
+            m.counter("ledger.segments"),
+            m.counter("ledger.doa"),
+            m.counter("ledger.hits"),
+            reuse.map_or(0.0, tracefill_util::Histogram::p50),
+            reuse.map_or(0.0, tracefill_util::Histogram::p90),
+            resid.map_or(0.0, tracefill_util::Histogram::p50),
+            format!(
+                "{}/{}",
+                m.counter("ledger.evict.conflict"),
+                m.counter("ledger.evict.refresh")
+            ),
+            m.counter("ledger.uops_retired"),
+        );
+    }
+    let _ = writeln!(
+        s,
+        "\nper-pass est cycles saved (ROI proxy: transforms x segment hits):"
+    );
+    let _ = write!(s, "{:8} {:>12}", "bench", "cell");
+    for p in PASSES {
+        let _ = write!(s, " {p:>12}");
+    }
+    let _ = writeln!(s, " {:>12}", "total");
+    for ((_, bench, opt, lat), m) in &cells {
+        let _ = write!(s, "{:8} {:>12}", bench, format!("{opt}@lat{lat}"));
+        let mut total = 0u64;
+        for p in PASSES {
+            let v = m.counter(&format!("ledger.saved.{p}"));
+            total += v;
+            let _ = write!(s, " {v:>12}");
+        }
+        let _ = writeln!(s, " {total:>12}");
+    }
+    s
+}
+
 /// A status roll-up: how many rows ended in each state, plus totals.
 #[must_use]
 pub fn summary(records: &[RunRecord]) -> String {
@@ -487,6 +573,65 @@ mod tests {
         assert!(fig8_table(&[]).contains("no aggregatable"));
         assert!(table2_table(&[]).contains("no `all` runs"));
         assert!(cpi_table(&[]).contains("no rows carry a CPI stack"));
+        assert!(ledger_table(&[]).contains("no rows carry ledger metrics"));
+    }
+
+    /// Builds a ledgered row with `segs` segments, `hits` total hits, and
+    /// a given moves-pass savings counter.
+    fn row_with_ledger(bench: &str, seed: u64, segs: u64, hits: u64, moves: u64) -> RunRecord {
+        let mut r = row(bench, "all", 1, 2.0);
+        r.run_id = format!("{bench}-ledger-{seed}");
+        r.seed = seed;
+        r.metrics.add("ledger.segments", segs);
+        r.metrics.add("ledger.doa", 1);
+        r.metrics.add("ledger.hits", hits);
+        r.metrics.add("ledger.evict.conflict", 3);
+        r.metrics.add("ledger.evict.refresh", 2);
+        r.metrics.add("ledger.uops_retired", hits * 10);
+        r.metrics.add("ledger.saved.moves", moves);
+        r.metrics.add("ledger.saved.cse", 7);
+        let bounds = [1u64, 2, 4, 8, 16, 32, 64, 128];
+        for h in 0..segs {
+            r.metrics.observe("ledger.reuse", &bounds, h);
+            r.metrics.observe("ledger.residency", &bounds, h * 4);
+        }
+        r
+    }
+
+    #[test]
+    fn ledger_table_merges_seeds_and_attributes_passes() {
+        let records = vec![
+            row("m88k", "all", 1, 2.0), // no ledger metrics: skipped
+            row_with_ledger("m88k", 0, 10, 40, 100),
+            row_with_ledger("m88k", 1, 10, 60, 50),
+        ];
+        let t = ledger_table(&records);
+        // Counters add across seeds within the cell.
+        assert!(t.contains(" 20 "), "segments should sum to 20:\n{t}");
+        assert!(t.contains(" 100 "), "hits should sum to 100:\n{t}");
+        assert!(t.contains("6/4"), "evictions should sum per cause:\n{t}");
+        // Per-pass savings: moves 150, cse 7+7, total 164.
+        assert!(t.contains("150"), "{t}");
+        assert!(t.contains("164"), "{t}");
+        assert!(t.contains("per-pass est cycles saved"), "{t}");
+        for p in ["moves", "cse", "reassoc", "scadd", "placement"] {
+            assert!(t.contains(p), "missing pass column {p}:\n{t}");
+        }
+    }
+
+    #[test]
+    fn ledger_table_ignores_failed_rows_and_row_order() {
+        let mut failed = row_with_ledger("m88k", 2, 999, 999, 999);
+        failed.status = RunStatus::Panic("boom".to_string());
+        let a = vec![
+            row_with_ledger("m88k", 0, 5, 20, 10),
+            row_with_ledger("comp", 0, 6, 30, 12),
+            failed.clone(),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(ledger_table(&a), ledger_table(&b));
+        assert!(!ledger_table(&a).contains("999"));
     }
 
     /// Builds a row whose windowed CPI stack is slot-exact for 16-wide

@@ -330,6 +330,7 @@ pub fn execute(desc: &RunDescriptor, campaign: &str, cancel: Option<&AtomicBool>
     let mut cfg = SimConfig::with_opts(desc.opts);
     cfg.fill.latency = desc.fill_latency;
     cfg.tcache.policy = desc.policy;
+    cfg.ledger = desc.ledger;
     if desc.controller != ControllerMode::Off {
         cfg.fill.controller = ControllerConfig {
             mode: desc.controller,
@@ -387,6 +388,25 @@ mod tests {
         assert!(rec.status.is_ok(), "{:?}", rec.status);
         assert!(rec.ipc > 0.0);
         assert!(rec.window_retired >= 2_000);
+    }
+
+    #[test]
+    fn ledgered_runs_carry_ledger_metrics_without_perturbing_the_run() {
+        let plain_desc = tiny_desc("m88k");
+        let plain = execute(&plain_desc, "t", None);
+        assert!(plain
+            .metrics
+            .counters()
+            .all(|(k, _)| !k.starts_with("ledger.")));
+        let mut desc = plain_desc;
+        desc.ledger = true;
+        let rec = execute(&desc, "t", None);
+        assert!(rec.status.is_ok(), "{:?}", rec.status);
+        assert!(rec.metrics.counter("ledger.segments") > 0);
+        assert!(rec.metrics.histogram("ledger.reuse").is_some());
+        // Observation only: the simulation itself is identical.
+        assert_eq!(rec.stats, plain.stats);
+        assert_eq!(rec.window_cycles, plain.window_cycles);
     }
 
     #[test]

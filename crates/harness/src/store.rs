@@ -11,7 +11,7 @@
 //! Robustness posture:
 //!
 //! * **Transient I/O** — appends retry with exponential backoff on
-//!   `Interrupted`/`WouldBlock`/`TimedOut` (see [`retry_io`]), so a
+//!   `Interrupted`/`WouldBlock`/`TimedOut` (the `retry_io` helper), so a
 //!   momentary stall (NFS hiccup, signal storm) doesn't abort a sweep.
 //! * **Malformed rows** — a row that is neither a record, a heartbeat, nor
 //!   a quarantine marker is *counted and skipped*, never fatal; the count
@@ -74,7 +74,7 @@ impl ResultStore {
     /// # Errors
     ///
     /// Non-transient I/O errors writing (transient kinds are retried a few
-    /// times first; see [`retry_io`]).
+    /// times first by the internal `retry_io` helper).
     pub fn append(&mut self, record: &RunRecord) -> io::Result<()> {
         let mut line = record.to_json().dump();
         line.push('\n');

@@ -32,6 +32,7 @@ fn small_spec() -> CampaignSpec {
         policies: vec!["lru".to_string()],
         controller: "off".to_string(),
         epoch_fills: 1024,
+        ledger: false,
     }
 }
 

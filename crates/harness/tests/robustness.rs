@@ -26,6 +26,7 @@ fn spec(name: &str, benches: &[&str], seeds: &[u64], budget: u64) -> CampaignSpe
         policies: vec!["lru".to_string()],
         controller: "off".to_string(),
         epoch_fills: 1024,
+        ledger: false,
     }
 }
 

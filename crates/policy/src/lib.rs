@@ -61,4 +61,4 @@ pub mod replace;
 
 pub use bandit::{ControllerConfig, ControllerMode, EpochSummary, PassController};
 pub use mask::PassMask;
-pub use replace::{LineAttrs, ReplacePolicy, ReplacementKind};
+pub use replace::{LineAttrs, PolicyCounters, ReplacePolicy, ReplacementKind};

@@ -12,6 +12,55 @@
 //! verbatim: stamp on hit and insert, evict the first way with the
 //! minimum stamp. Same tick stream ⇒ byte-identical victims.
 
+/// Aggregate bookkeeping every policy maintains alongside its
+/// recency state, so `policy.*` metrics and the segment ledger can be
+/// cross-checked against the cache's own hit/eviction statistics.
+///
+/// All times are in the cache's lookup/insert tick domain (the `tick`
+/// values the cache passes to the policy), not simulator cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyCounters {
+    /// Lookup hits reported via [`ReplacePolicy::on_hit`].
+    pub hits: u64,
+    /// Victims chosen via [`ReplacePolicy::victim`].
+    pub evictions: u64,
+    /// Sum over evictions of `tick_at_eviction - tick_at_insert`
+    /// (the victim line's residency age in cache ticks).
+    pub evict_age_ticks: u64,
+}
+
+/// Per-line insert-tick log shared by every policy implementation; turns
+/// the hit / insert / victim event stream into [`PolicyCounters`].
+#[derive(Debug)]
+struct LineLog {
+    ways: usize,
+    inserted: Vec<u64>,
+    counters: PolicyCounters,
+}
+
+impl LineLog {
+    fn new(sets: usize, ways: usize) -> LineLog {
+        LineLog {
+            ways,
+            inserted: vec![0; sets * ways],
+            counters: PolicyCounters::default(),
+        }
+    }
+
+    fn hit(&mut self) {
+        self.counters.hits += 1;
+    }
+
+    fn insert(&mut self, set: usize, way: usize, tick: u64) {
+        self.inserted[set * self.ways + way] = tick;
+    }
+
+    fn evict(&mut self, set: usize, way: usize, tick: u64) {
+        self.counters.evictions += 1;
+        self.counters.evict_age_ticks += tick.saturating_sub(self.inserted[set * self.ways + way]);
+    }
+}
+
 /// Facts about a segment being inserted, abstracted away from
 /// `tracefill-core`'s `Segment` type.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -86,8 +135,10 @@ pub trait ReplacePolicy: std::fmt::Debug + Send {
     fn on_hit(&mut self, set: usize, way: usize, tick: u64);
     /// A new line landed in `(set, way)` at time `tick`.
     fn on_insert(&mut self, set: usize, way: usize, tick: u64, attrs: &LineAttrs);
-    /// Chooses the way to evict from a full `set`.
-    fn victim(&mut self, set: usize, ways_used: usize) -> usize;
+    /// Chooses the way to evict from a full `set` at time `tick`.
+    fn victim(&mut self, set: usize, ways_used: usize, tick: u64) -> usize;
+    /// Hit / eviction / eviction-age totals accumulated so far.
+    fn counters(&self) -> PolicyCounters;
     /// The policy's canonical name (matches [`ReplacementKind::name`]).
     fn name(&self) -> &'static str;
 }
@@ -97,6 +148,7 @@ pub trait ReplacePolicy: std::fmt::Debug + Send {
 struct Lru {
     ways: usize,
     stamp: Vec<u64>,
+    log: LineLog,
 }
 
 impl Lru {
@@ -104,6 +156,7 @@ impl Lru {
         Lru {
             ways,
             stamp: vec![0; sets * ways],
+            log: LineLog::new(sets, ways),
         }
     }
 }
@@ -111,13 +164,15 @@ impl Lru {
 impl ReplacePolicy for Lru {
     fn on_hit(&mut self, set: usize, way: usize, tick: u64) {
         self.stamp[set * self.ways + way] = tick;
+        self.log.hit();
     }
 
     fn on_insert(&mut self, set: usize, way: usize, tick: u64, _attrs: &LineAttrs) {
         self.stamp[set * self.ways + way] = tick;
+        self.log.insert(set, way, tick);
     }
 
-    fn victim(&mut self, set: usize, ways_used: usize) -> usize {
+    fn victim(&mut self, set: usize, ways_used: usize, tick: u64) -> usize {
         let base = set * self.ways;
         let mut victim = 0usize;
         let mut oldest = u64::MAX;
@@ -128,7 +183,12 @@ impl ReplacePolicy for Lru {
                 victim = w;
             }
         }
+        self.log.evict(set, victim, tick);
         victim
+    }
+
+    fn counters(&self) -> PolicyCounters {
+        self.log.counters
     }
 
     fn name(&self) -> &'static str {
@@ -143,6 +203,7 @@ impl ReplacePolicy for Lru {
 struct Srrip {
     ways: usize,
     rrpv: Vec<u8>,
+    log: LineLog,
 }
 
 const RRPV_DISTANT: u8 = 3;
@@ -153,6 +214,7 @@ impl Srrip {
         Srrip {
             ways,
             rrpv: vec![RRPV_DISTANT; sets * ways],
+            log: LineLog::new(sets, ways),
         }
     }
 }
@@ -160,17 +222,20 @@ impl Srrip {
 impl ReplacePolicy for Srrip {
     fn on_hit(&mut self, set: usize, way: usize, _tick: u64) {
         self.rrpv[set * self.ways + way] = 0;
+        self.log.hit();
     }
 
-    fn on_insert(&mut self, set: usize, way: usize, _tick: u64, _attrs: &LineAttrs) {
+    fn on_insert(&mut self, set: usize, way: usize, tick: u64, _attrs: &LineAttrs) {
         self.rrpv[set * self.ways + way] = RRPV_LONG;
+        self.log.insert(set, way, tick);
     }
 
-    fn victim(&mut self, set: usize, ways_used: usize) -> usize {
+    fn victim(&mut self, set: usize, ways_used: usize, tick: u64) -> usize {
         let base = set * self.ways;
         loop {
             for w in 0..ways_used {
                 if self.rrpv[base + w] >= RRPV_DISTANT {
+                    self.log.evict(set, w, tick);
                     return w;
                 }
             }
@@ -178,6 +243,10 @@ impl ReplacePolicy for Srrip {
                 self.rrpv[base + w] += 1;
             }
         }
+    }
+
+    fn counters(&self) -> PolicyCounters {
+        self.log.counters
     }
 
     fn name(&self) -> &'static str {
@@ -198,6 +267,7 @@ struct Trrip {
     ways: usize,
     temp: Vec<u8>,
     stamp: Vec<u64>,
+    log: LineLog,
 }
 
 const TEMP_MAX: u8 = 3;
@@ -208,6 +278,7 @@ impl Trrip {
             ways,
             temp: vec![0; sets * ways],
             stamp: vec![0; sets * ways],
+            log: LineLog::new(sets, ways),
         }
     }
 }
@@ -217,6 +288,7 @@ impl ReplacePolicy for Trrip {
         let i = set * self.ways + way;
         self.temp[i] = (self.temp[i] + 1).min(TEMP_MAX);
         self.stamp[i] = tick;
+        self.log.hit();
     }
 
     fn on_insert(&mut self, set: usize, way: usize, tick: u64, attrs: &LineAttrs) {
@@ -227,9 +299,10 @@ impl ReplacePolicy for Trrip {
             (false, false) => 0,
         };
         self.stamp[i] = tick;
+        self.log.insert(set, way, tick);
     }
 
-    fn victim(&mut self, set: usize, ways_used: usize) -> usize {
+    fn victim(&mut self, set: usize, ways_used: usize, tick: u64) -> usize {
         let base = set * self.ways;
         let mut victim = 0usize;
         let mut best = (u8::MAX, u64::MAX);
@@ -247,7 +320,12 @@ impl ReplacePolicy for Trrip {
                 self.temp[i] = self.temp[i].saturating_sub(1);
             }
         }
+        self.log.evict(set, victim, tick);
         victim
+    }
+
+    fn counters(&self) -> PolicyCounters {
+        self.log.counters
     }
 
     fn name(&self) -> &'static str {
@@ -285,13 +363,13 @@ mod tests {
             p.on_insert(0, w, w as u64, &A);
         }
         p.on_hit(0, 0, 10);
-        assert_eq!(p.victim(0, 4), 1, "way 1 now oldest");
+        assert_eq!(p.victim(0, 4, 11), 1, "way 1 now oldest");
         // Equal stamps: the first way wins, matching min_by_key.
         let mut q = ReplacementKind::Lru.build(1, 3);
         for w in 0..3 {
             q.on_insert(0, w, 5, &A);
         }
-        assert_eq!(q.victim(0, 3), 0);
+        assert_eq!(q.victim(0, 3, 6), 0);
     }
 
     #[test]
@@ -301,7 +379,7 @@ mod tests {
         p.on_insert(0, 1, 2, &A);
         p.on_hit(0, 0, 3);
         // Way 0 at rrpv 0, way 1 at 2; aging reaches way 1 first.
-        assert_eq!(p.victim(0, 2), 1);
+        assert_eq!(p.victim(0, 2, 4), 1);
     }
 
     #[test]
@@ -314,7 +392,7 @@ mod tests {
         };
         p.on_insert(0, 0, 1, &hot);
         p.on_insert(0, 1, 2, &A);
-        assert_eq!(p.victim(0, 2), 1, "plain line colder than loop line");
+        assert_eq!(p.victim(0, 2, 3), 1, "plain line colder than loop line");
     }
 
     #[test]
@@ -329,11 +407,50 @@ mod tests {
         p.on_insert(0, 1, 2, &A);
         // Repeated evictions cool way 0; without hits it eventually loses
         // the tie-break on stamp recency.
-        assert_eq!(p.victim(0, 2), 1);
+        assert_eq!(p.victim(0, 2, 3), 1);
         p.on_insert(0, 1, 3, &A);
-        assert_eq!(p.victim(0, 2), 1);
+        assert_eq!(p.victim(0, 2, 4), 1);
         p.on_insert(0, 1, 4, &A);
         // Way 0 cooled to 0; stamps 1 < 4, so way 0 finally goes.
-        assert_eq!(p.victim(0, 2), 0);
+        assert_eq!(p.victim(0, 2, 5), 0);
+    }
+
+    #[test]
+    fn counters_track_hits_evictions_and_ages() {
+        for kind in [
+            ReplacementKind::Lru,
+            ReplacementKind::Srrip,
+            ReplacementKind::Trrip,
+        ] {
+            let mut p = kind.build(1, 2);
+            assert_eq!(p.counters(), PolicyCounters::default());
+            p.on_insert(0, 0, 1, &A);
+            p.on_insert(0, 1, 2, &A);
+            p.on_hit(0, 0, 3);
+            p.on_hit(0, 0, 4);
+            let v = p.victim(0, 2, 10);
+            let c = p.counters();
+            assert_eq!(c.hits, 2, "{}: two hits reported", kind.name());
+            assert_eq!(c.evictions, 1, "{}: one victim chosen", kind.name());
+            // The victim was inserted at tick 1 or 2, so its age at tick
+            // 10 is 10 minus its insert tick.
+            let expect_age = 10 - [1u64, 2u64][v];
+            assert_eq!(c.evict_age_ticks, expect_age, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_across_replacements() {
+        let mut p = ReplacementKind::Lru.build(1, 2);
+        p.on_insert(0, 0, 1, &A);
+        p.on_insert(0, 1, 2, &A);
+        let v1 = p.victim(0, 2, 5); // way 0 (stamp 1), age 4
+        assert_eq!(v1, 0);
+        p.on_insert(0, v1, 5, &A);
+        let v2 = p.victim(0, 2, 9); // way 1 (stamp 2), age 7
+        assert_eq!(v2, 1);
+        let c = p.counters();
+        assert_eq!(c.evictions, 2);
+        assert_eq!(c.evict_age_ticks, 4 + 7);
     }
 }

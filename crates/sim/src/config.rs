@@ -106,6 +106,11 @@ pub struct SimConfig {
     /// Pipeline event-trace depth: keep the most recent N events in
     /// [`Simulator::trace`](crate::Simulator::trace) (0 disables tracing).
     pub trace_depth: usize,
+    /// Collect the segment lifetime ledger
+    /// ([`Simulator::ledger`](crate::Simulator::ledger)): per-segment
+    /// build/insert/hit/retire/evict attribution. Purely observational —
+    /// enabling it never changes timing — and zero-cost when off.
+    pub ledger: bool,
 }
 
 impl Default for SimConfig {
@@ -138,6 +143,7 @@ impl Default for SimConfig {
             divergence_ring: 16,
             fault_plan: None,
             trace_depth: 0,
+            ledger: false,
         }
     }
 }

@@ -232,6 +232,11 @@ impl Simulator {
             }
         }
 
+        if self.ledger.enabled() {
+            self.ledger
+                .on_fetch(seg.provenance.seg_id, slots.len() as u64);
+        }
+
         Some(FetchBundle {
             slots,
             diverge_at,

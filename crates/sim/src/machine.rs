@@ -251,6 +251,8 @@ pub struct Simulator {
     /// (false at cold start, when supply is icache by definition).
     pub(crate) last_fetch_tc: bool,
     pub(crate) metrics: tracefill_util::Registry,
+    /// Segment lifetime ledger (no-op unless `cfg.ledger`).
+    pub(crate) ledger: tracefill_core::ledger::Ledger,
 }
 
 /// Bucket bounds for the per-cycle window-occupancy histogram.
@@ -318,6 +320,7 @@ impl Simulator {
             cpi_flags: CpiFlags::default(),
             last_fetch_tc: false,
             metrics: tracefill_util::Registry::new(),
+            ledger: tracefill_core::ledger::Ledger::new(cfg.ledger),
             cfg,
         }
     }
@@ -372,6 +375,12 @@ impl Simulator {
         self.cpi
     }
 
+    /// The segment lifetime ledger (empty unless
+    /// [`SimConfig::ledger`](crate::config::SimConfig::ledger) was set).
+    pub fn ledger(&self) -> &tracefill_core::ledger::Ledger {
+        &self.ledger
+    }
+
     /// Assembles a full report (pipeline + structure statistics, the CPI
     /// stack and the metrics registry).
     ///
@@ -403,6 +412,15 @@ impl Simulator {
             &format!("policy.evict.{}", self.tcache.policy_name()),
             tc.evictions,
         );
+        // The replacement policy's own bookkeeping; always agrees with
+        // the cache statistics above (cross-checked in tests).
+        let pc = self.tcache.policy_counters();
+        metrics.add("policy.hits", pc.hits);
+        metrics.add("policy.evictions", pc.evictions);
+        metrics.add("policy.evict_age_ticks", pc.evict_age_ticks);
+        if self.ledger.enabled() {
+            self.ledger.export_metrics(&mut metrics, self.cycle);
+        }
         Report {
             stats: self.stats,
             tcache: self.tcache.stats(),
@@ -422,6 +440,12 @@ impl Simulator {
     /// Trace-cache statistics.
     pub fn tcache_stats(&self) -> tracefill_core::tcache::TraceCacheStats {
         self.tcache.stats()
+    }
+
+    /// The replacement policy's own hit/eviction bookkeeping (always
+    /// agrees with [`tcache_stats`](Self::tcache_stats)).
+    pub fn tcache_policy_counters(&self) -> tracefill_core::tcache::PolicyCounters {
+        self.tcache.policy_counters()
     }
 
     /// Runs until the program exits or `max_cycles` elapse.

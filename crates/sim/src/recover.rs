@@ -277,6 +277,21 @@ impl Simulator {
         }
         self.fetch_buffer = None;
 
+        if self.ledger.enabled() {
+            // Attribute each squashed trace-cache uop back to the segment
+            // that supplied it, before the uop table forgets it.
+            for id in &dead {
+                if let Some(sid) = self
+                    .uops
+                    .get(id)
+                    .filter(|u| u.from_tc)
+                    .and_then(|u| u.seg.as_ref())
+                    .map(|s| s.provenance.seg_id)
+                {
+                    self.ledger.on_squash(sid);
+                }
+            }
+        }
         for &id in &dead {
             self.discard_uop_inner(id);
         }

@@ -108,7 +108,12 @@ impl Simulator {
                 self.metrics.inc("fault.detected.fill_verify");
                 continue;
             }
-            self.tcache.insert(seg);
+            if self.ledger.enabled() {
+                let outcome = self.tcache.insert(std::sync::Arc::clone(&seg));
+                self.ledger.on_insert(&seg, &outcome, self.cycle);
+            } else {
+                self.tcache.insert(seg);
+            }
         }
         // The fill unit's own always-on verifier rejecting a segment is a
         // divergence in its own right: an optimization pass broke the
@@ -170,6 +175,14 @@ impl Simulator {
         self.stats.retired_from_tc += u.from_tc as u64;
         self.stats.fu_executed += u.fu_executed as u64;
         self.stats.bypass_delayed += u.bypass_delayed as u64;
+        let ledger_seg = if self.ledger.enabled() && u.from_tc {
+            u.seg.as_ref().map(|s| s.provenance.seg_id)
+        } else {
+            None
+        };
+        if let Some(sid) = ledger_seg {
+            self.ledger.on_retire(sid);
+        }
 
         // Commit stores to memory.
         if let Some((addr, size, value)) = store {
@@ -314,6 +327,11 @@ impl Simulator {
         self.stats.retired += 1;
         self.cpi_flags.retired += 1; // this cycle's CPI-stack `base` slots
         self.stats.retired_from_tc += from_tc as u64;
+        if self.ledger.enabled() && from_tc {
+            if let Some(sid) = self.uops[&id].seg.as_ref().map(|s| s.provenance.seg_id) {
+                self.ledger.on_retire(sid);
+            }
+        }
         self.fill.retire(
             FillInput {
                 pc,

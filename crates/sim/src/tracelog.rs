@@ -281,6 +281,58 @@ impl TraceLog {
             .with("traceEvents", Json::Arr(events))
             .with("displayTimeUnit", "ms")
     }
+
+    /// [`to_chrome_trace`](Self::to_chrome_trace) enriched with the
+    /// segment lifetime ledger: each ledgered segment's whole cache life
+    /// renders as one complete-duration span (insert cycle → eviction
+    /// cycle, or `now` for still-resident lines) on its own track
+    /// (`pid` 1, `tid` = segment id), annotated with its hit count,
+    /// retired-uop count, pass attribution, and fate.
+    #[must_use]
+    pub fn to_chrome_trace_with_ledger(
+        &self,
+        ledger: &tracefill_core::ledger::Ledger,
+        now: u64,
+    ) -> Json {
+        let base = self.to_chrome_trace();
+        let mut events: Vec<Json> = base
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default();
+        for span in ledger.spans(now) {
+            events.push(
+                Json::object()
+                    .with(
+                        "name",
+                        format!("seg {} @{:#010x}", span.seg_id, span.start_pc),
+                    )
+                    .with("cat", "segment")
+                    .with("ts", span.insert_cycle)
+                    .with("pid", 1u64)
+                    .with("tid", span.seg_id)
+                    .with("ph", "X")
+                    .with(
+                        "dur",
+                        span.end_cycle.saturating_sub(span.insert_cycle).max(1),
+                    )
+                    .with(
+                        "args",
+                        Json::object()
+                            .with("hits", span.hits)
+                            .with("uops_retired", span.uops_retired)
+                            .with(
+                                "passes",
+                                Json::Arr(span.passes.into_iter().map(Json::from).collect()),
+                            )
+                            .with("fate", span.fate),
+                    ),
+            );
+        }
+        Json::object()
+            .with("traceEvents", Json::Arr(events))
+            .with("displayTimeUnit", "ms")
+    }
 }
 
 #[cfg(test)]

@@ -548,9 +548,104 @@ mod tests {
 
     #[test]
     fn empty_histogram_quantiles_are_zero() {
+        // Pins the empty-histogram contract explicitly: every quantile of
+        // an empty histogram is 0.0, across the whole [0, 1] range — not
+        // NaN, not a bucket bound.
         let h = Histogram::new(BOUNDS);
+        assert_eq!(h.count(), 0);
+        for p in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(p), 0.0, "quantile({p}) of empty histogram");
+        }
         assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p90(), 0.0);
+        assert_eq!(h.p99(), 0.0);
         assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.sum(), 0);
+    }
+
+    /// A seeded random histogram over `BOUNDS` with `n` observations.
+    fn random_histogram(rng: &mut SplitMix64, n: usize) -> Histogram {
+        let mut h = Histogram::new(BOUNDS);
+        for _ in 0..n {
+            // Spread across buckets and into overflow.
+            h.observe(rng.next_u64() % 300);
+        }
+        h
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let mut rng = SplitMix64::new(0xfeed);
+        for trial in 0..50 {
+            let a = random_histogram(&mut rng, 40);
+            let b = random_histogram(&mut rng, 17);
+            let c = random_histogram(&mut rng, 63);
+            // Commutativity: a+b == b+a.
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab, ba, "trial {trial}: merge not commutative");
+            // Associativity: (a+b)+c == a+(b+c).
+            let mut ab_c = ab.clone();
+            ab_c.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut a_bc = a.clone();
+            a_bc.merge(&bc);
+            assert_eq!(ab_c, a_bc, "trial {trial}: merge not associative");
+            // The merge also conserves mass.
+            assert_eq!(ab_c.count(), a.count() + b.count() + c.count());
+            assert_eq!(ab_c.sum(), a.sum() + b.sum() + c.sum());
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_p() {
+        let mut rng = SplitMix64::new(0xbead);
+        for trial in 0..50 {
+            let n = (rng.next_u64() % 100) as usize;
+            let h = random_histogram(&mut rng, n);
+            let ps = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+            for w in ps.windows(2) {
+                assert!(
+                    h.quantile(w[0]) <= h.quantile(w[1]),
+                    "trial {trial}: quantile({}) > quantile({})",
+                    w[0],
+                    w[1]
+                );
+            }
+            // Merging can only move any quantile outward from the lower
+            // histogram's view of it... not a lattice law in general, but
+            // quantiles must stay inside the bound range.
+            for p in ps {
+                let q = h.quantile(p);
+                assert!(
+                    q == 0.0 || (q >= BOUNDS[0] as f64 && q <= *BOUNDS.last().unwrap() as f64),
+                    "trial {trial}: quantile({p}) = {q} outside bounds"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_json_round_trips() {
+        let mut rng = SplitMix64::new(0xc0de);
+        for trial in 0..50 {
+            let n = (rng.next_u64() % 200) as usize;
+            let h = random_histogram(&mut rng, n);
+            // Through the Json value.
+            let back = Histogram::from_json(&h.to_json()).unwrap();
+            assert_eq!(h, back, "trial {trial}: value round-trip");
+            // Through the serialized text, as stores do.
+            let text = h.to_json().dump();
+            let reparsed = Histogram::from_json(&crate::Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(h, reparsed, "trial {trial}: text round-trip");
+            // And the round-tripped histogram keeps merging correctly.
+            let mut m = h.clone();
+            m.merge(&back);
+            assert_eq!(m.count(), 2 * h.count(), "trial {trial}");
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! validate_trace jsonl  <file>   # one JSON object per line, cycle + kind
 //! validate_trace json   <file>   # a single JSON document (chrome format)
 //! validate_trace report <file>   # a `--stats-json` report document
+//! validate_trace identity <plain> <ledgered>   # ledger-off == ledger-on
 //! ```
 //!
 //! Exits non-zero (with a line-numbered message) on the first byte the
@@ -19,14 +20,72 @@ fn fail(msg: &str) -> ! {
     exit(1);
 }
 
+/// Asserts the segment ledger is observation-only: a `--ledger` run's
+/// report must match a plain run of the same program on every simulated
+/// quantity, the plain report must carry no `ledger.*` metrics, and the
+/// ledgered one must.
+fn check_identity(plain_path: &str, ledgered_path: &str) {
+    let parse = |p: &str| {
+        let text =
+            std::fs::read_to_string(p).unwrap_or_else(|e| fail(&format!("cannot read {p}: {e}")));
+        Json::parse(&text).unwrap_or_else(|e| fail(&format!("{p}: {e}")))
+    };
+    let plain = parse(plain_path);
+    let ledgered = parse(ledgered_path);
+    for member in [
+        "stats",
+        "tcache",
+        "caches",
+        "fill_segments",
+        "mean_segment_len",
+        "cpi",
+    ] {
+        let a = plain.get(member).map(Json::dump);
+        let b = ledgered.get(member).map(Json::dump);
+        if a.is_none() {
+            fail(&format!("{plain_path}: report missing `{member}`"));
+        }
+        if a != b {
+            fail(&format!(
+                "ledger perturbed the simulation: `{member}` differs\n  plain:    {}\n  ledgered: {}",
+                a.unwrap_or_default(),
+                b.unwrap_or_default()
+            ));
+        }
+    }
+    let metrics_dump = |doc: &Json, p: &str| {
+        doc.get("metrics")
+            .map(Json::dump)
+            .unwrap_or_else(|| fail(&format!("{p}: report missing `metrics`")))
+    };
+    if metrics_dump(&plain, plain_path).contains("ledger.") {
+        fail(&format!(
+            "{plain_path}: ledger-off report carries ledger.* metrics"
+        ));
+    }
+    if !metrics_dump(&ledgered, ledgered_path).contains("ledger.segments") {
+        fail(&format!(
+            "{ledgered_path}: ledgered report carries no ledger.* metrics"
+        ));
+    }
+    println!("ledger identity holds: observation changed no simulated quantity");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (mode, path) = match (args.first(), args.get(1)) {
-        (Some(m), Some(p)) if ["jsonl", "json", "report"].contains(&m.as_str()) => {
+        (Some(m), Some(p)) if ["jsonl", "json", "report", "identity"].contains(&m.as_str()) => {
             (m.as_str(), p.as_str())
         }
-        _ => fail("usage: validate_trace <jsonl|json|report> <file>"),
+        _ => fail("usage: validate_trace <jsonl|json|report> <file> | identity <plain> <ledgered>"),
     };
+    if mode == "identity" {
+        let Some(ledgered) = args.get(2) else {
+            fail("identity mode needs two report files: <plain> <ledgered>");
+        };
+        check_identity(path, ledgered);
+        return;
+    }
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
     match mode {

@@ -85,4 +85,25 @@ grep -q '"best_single_static"' "$SMOKE_DIR/adapt1.json"
 cargo run --release -q -p tracefill-bench --bin tracefill -- \
     run "$SMOKE_DIR/smoke.s" --replace trrip --json > "$SMOKE_DIR/trrip.json"
 
+echo "==> segment-ledger determinism (same seed => byte-identical ROI report)"
+cargo run --release -q -p tracefill-bench --bin tracefill -- \
+    ledger --bench m88k,comp --seed 1 --warmup 2000 --budget 10000 --json \
+    > "$SMOKE_DIR/ledger1.json"
+cargo run --release -q -p tracefill-bench --bin tracefill -- \
+    ledger --bench m88k,comp --seed 1 --warmup 2000 --budget 10000 --json \
+    > "$SMOKE_DIR/ledger2.json"
+cmp "$SMOKE_DIR/ledger1.json" "$SMOKE_DIR/ledger2.json"
+grep -q '"per_pass"' "$SMOKE_DIR/ledger1.json"
+
+echo "==> ledger-off identity (observation must not perturb the simulation)"
+cargo run --release -q -p tracefill-bench --bin tracefill -- \
+    run "$SMOKE_DIR/smoke.s" --stats-json "$SMOKE_DIR/plain.stats.json" > /dev/null
+cargo run --release -q -p tracefill-bench --bin tracefill -- \
+    run "$SMOKE_DIR/smoke.s" --ledger --stats-json "$SMOKE_DIR/ledger.stats.json" > /dev/null
+cargo run --release -q -p tracefill-bench --example validate_trace -- \
+    identity "$SMOKE_DIR/plain.stats.json" "$SMOKE_DIR/ledger.stats.json"
+
+echo "==> cargo doc (no warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps
+
 echo "==> OK"

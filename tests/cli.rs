@@ -1,0 +1,125 @@
+//! End-to-end tests of the `tracefill` binary itself: output-path
+//! validation must fail fast with a clear message and nonzero exit, and
+//! the ledger report must be byte-deterministic across invocations.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tracefill"))
+}
+
+/// A per-test scratch directory under the system temp dir.
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tracefill-cli-{test}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A tiny kernel that halts in a few hundred cycles.
+fn smoke_program(dir: &std::path::Path) -> PathBuf {
+    let path = dir.join("smoke.s");
+    std::fs::write(
+        &path,
+        "        .text
+main:   li   $s0, 64
+loop:   andi $t0, $s0, 3
+        add  $s1, $s1, $t0
+        addi $s0, $s0, -1
+        bgtz $s0, loop
+        li   $a0, 0
+        li   $v0, 10
+        syscall
+",
+    )
+    .unwrap();
+    path
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn run_stats_json_rejects_missing_parent_before_simulating() {
+    let dir = scratch("stats-json");
+    let prog = smoke_program(&dir);
+    let bad = dir.join("no-such-dir").join("stats.json");
+    let out = bin()
+        .args(["run", prog.to_str().unwrap(), "--stats-json"])
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("cannot write"), "unhelpful error: {err}");
+    assert!(
+        err.contains("does not exist"),
+        "should name the missing parent: {err}"
+    );
+    assert!(!bad.exists());
+}
+
+#[test]
+fn trace_out_rejects_missing_parent_and_directory_targets() {
+    let dir = scratch("trace-out");
+    let prog = smoke_program(&dir);
+    let bad = dir.join("absent").join("trace.jsonl");
+    let out = bin()
+        .args(["trace", prog.to_str().unwrap(), "--out"])
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("cannot write"), "{}", stderr(&out));
+
+    // Naming an existing directory is just as unwritable.
+    let out = bin()
+        .args(["trace", prog.to_str().unwrap(), "--out"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("is a directory"), "{}", stderr(&out));
+}
+
+#[test]
+fn ledger_out_rejects_missing_parent() {
+    let dir = scratch("ledger-out");
+    let bad = dir.join("absent").join("ledger.json");
+    let out = bin()
+        .args(["ledger", "--bench", "m88k", "--budget", "2000", "--out"])
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("cannot write"), "{}", stderr(&out));
+}
+
+#[test]
+fn malformed_numeric_flags_are_usage_errors() {
+    let dir = scratch("usage");
+    let prog = smoke_program(&dir);
+    let out = bin()
+        .args(["run", prog.to_str().unwrap(), "--max-cycles", "banana"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("invalid value"), "{}", stderr(&out));
+}
+
+#[test]
+fn ledger_json_is_byte_deterministic() {
+    let args = [
+        "ledger", "--bench", "m88k", "--seed", "1", "--warmup", "1000", "--budget", "8000",
+        "--json",
+    ];
+    let a = bin().args(args).output().unwrap();
+    let b = bin().args(args).output().unwrap();
+    assert!(a.status.success(), "stderr: {}", stderr(&a));
+    assert_eq!(a.stdout, b.stdout, "same seed must emit identical bytes");
+    let text = String::from_utf8(a.stdout).unwrap();
+    assert!(text.contains("\"per_pass\""), "{text}");
+    assert!(text.contains("\"doa\""), "{text}");
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! tracefill run <file.s> [--opts all|none|moves,reassoc,scadd,placement,cse]
-//!                        [--replace lru|srrip|trrip]
+//!                        [--replace lru|srrip|trrip] [--self-repair]
 //!                        [--input 1,2,3] [--max-cycles N] [--json] [--ledger]
 //!                        [--stats-json <file>]  # write the full report JSON
 //!                        [--trace N]   # print the last N pipeline events
@@ -16,11 +16,14 @@
 //!                  [--top N] [--max-cycles N] [--json] [--out <file>]
 //! tracefill campaign <fig8|table2|spec.json> [--out results.jsonl] [--jobs N] [--quiet]
 //!                    [--quarantine-after K] [--wall-budget-ms N]
-//! tracefill report <results.jsonl> [--format fig8|table2|cpi|ledger|summary|all]
+//! tracefill report <results.jsonl> [--format fig8|table2|cpi|ledger|repair|summary|all]
 //! tracefill verify [<file.s>] [--opts SPEC[:SPEC...]] [--budget N] [--max-cycles N]
 //! tracefill inject [--bench NAME] [--opts SPEC[:SPEC...]] [--seed N] [--trials N]
 //!                  [--faults N] [--horizon N] [--kinds a,b,c] [--detect strict|oracle|none]
-//!                  [--budget N] [--json]
+//!                  [--budget N] [--json] [--self-repair]
+//! tracefill heal [--bench NAME] [--opts SPEC[:SPEC...]] [--seed N] [--trials N]
+//!                [--faults N] [--horizon N] [--kinds a,b,c] [--budget N]
+//!                [--quarantine-after K] [--disable-after M] [--json]
 //! tracefill adapt [--bench NAME[,NAME...]] [--opts SPEC[:SPEC...]]
 //!                 [--mode egreedy[:MILLI]|ucb[:MILLI]|static:SPEC] [--seed N]
 //!                 [--replace lru|srrip|trrip] [--latency N] [--warmup N]
@@ -41,13 +44,13 @@ use tracefill_isa::asm::assemble;
 use tracefill_isa::interp::{Halt, Interp};
 use tracefill_isa::syscall::IoCtx;
 use tracefill_isa::Program;
-use tracefill_sim::{FaultKind, FaultPlan, RunExit, SimConfig, Simulator};
+use tracefill_sim::{FaultKind, FaultPlan, RepairConfig, RunExit, SimConfig, Simulator};
 use tracefill_util::Json;
 
 fn usage() -> ! {
     eprintln!(
         "usage:
-  tracefill run <file.s> [--opts SPEC] [--replace lru|srrip|trrip] [--input a,b,c] [--max-cycles N] [--json] [--ledger] [--stats-json <file>] [--trace N]
+  tracefill run <file.s> [--opts SPEC] [--replace lru|srrip|trrip] [--input a,b,c] [--max-cycles N] [--json] [--ledger] [--self-repair] [--stats-json <file>] [--trace N]
   tracefill trace <file.s> [--out <file>] [--format jsonl|chrome] [--depth N] [--opts SPEC] [--input a,b,c] [--max-cycles N] [--ledger]
   tracefill interp <file.s> [--input a,b,c]
   tracefill characterize <file.s>
@@ -57,11 +60,14 @@ fn usage() -> ! {
                    [--max-cycles N] [--json] [--out <file>]
   tracefill campaign <fig8|table2|spec.json> [--out results.jsonl] [--jobs N] [--quiet]
                      [--quarantine-after K] [--wall-budget-ms N]
-  tracefill report <results.jsonl> [--format fig8|table2|cpi|ledger|summary|all]
+  tracefill report <results.jsonl> [--format fig8|table2|cpi|ledger|repair|summary|all]
   tracefill verify [<file.s>] [--opts SPEC[:SPEC...]] [--budget N] [--max-cycles N]
   tracefill inject [--bench NAME] [--opts SPEC[:SPEC...]] [--seed N] [--trials N]
                    [--faults N] [--horizon N] [--kinds a,b,c] [--detect strict|oracle|none]
-                   [--budget N] [--json]
+                   [--budget N] [--json] [--self-repair]
+  tracefill heal [--bench NAME] [--opts SPEC[:SPEC...]] [--seed N] [--trials N]
+                 [--faults N] [--horizon N] [--kinds a,b,c] [--budget N]
+                 [--quarantine-after K] [--disable-after M] [--json]
   tracefill adapt [--bench NAME[,NAME...]] [--opts SPEC[:SPEC...]]
                   [--mode egreedy[:MILLI]|ucb[:MILLI]|static:SPEC] [--seed N]
                   [--replace lru|srrip|trrip] [--latency N] [--warmup N]
@@ -174,6 +180,10 @@ fn cmd_run(args: &[String]) {
     let prog = load(path);
     let opts = parse_opts(&flag_value(args, "--opts").unwrap_or_else(|| "all".into()));
     let max_cycles: u64 = parse_flag(args, "--max-cycles", 200_000_000);
+    if max_cycles == 0 {
+        eprintln!("--max-cycles must be at least 1 (a zero-cycle run measures nothing)");
+        exit(1);
+    }
     let json = args.iter().any(|a| a == "--json");
     let trace_depth: usize = parse_flag(args, "--trace", 0);
     let stats_json = flag_value(args, "--stats-json");
@@ -187,6 +197,7 @@ fn cmd_run(args: &[String]) {
     };
     cfg.tcache.policy = parse_replace(args);
     cfg.ledger = args.iter().any(|a| a == "--ledger");
+    cfg.self_repair.enabled = args.iter().any(|a| a == "--self-repair");
     let mut sim = Simulator::with_io(&prog, cfg, parse_input(args));
     let exit_state = sim.run(max_cycles).unwrap_or_else(|e| {
         eprintln!("simulation error: {e}");
@@ -224,6 +235,15 @@ fn cmd_run(args: &[String]) {
         "bypass-delayed: {:.1}% of FU-executed instructions",
         s.bypass_delay_fraction() * 100.0
     );
+    if !sim.repairs().is_empty() {
+        println!(
+            "self-repair : {} contained failure(s) (see `tracefill heal` for a sweep)",
+            sim.repairs().len()
+        );
+        for ev in sim.repairs() {
+            println!("  {ev}");
+        }
+    }
     if sim.ledger().enabled() {
         let led = sim.ledger();
         let hits: u64 = led.records().map(|r| r.hits).sum();
@@ -508,8 +528,11 @@ fn cmd_verify(args: &[String]) {
     }
 }
 
-/// Outcome keys for the SDC table, in fixed print order.
-const INJECT_OUTCOMES: [&str; 10] = [
+/// Outcome keys for the SDC table, in fixed print order. `recovered` and
+/// `fatal` only populate when the sweep runs with `--self-repair`:
+/// `recovered` counts runs that contained at least one failure and still
+/// finished bit-clean; `fatal` counts armed runs that died anyway.
+const INJECT_OUTCOMES: [&str; 12] = [
     "injected",
     "detected.verify",
     "detected.fill_verify",
@@ -517,10 +540,36 @@ const INJECT_OUTCOMES: [&str; 10] = [
     "detected.watchdog",
     "detected.panic",
     "detected.simerror",
+    "recovered",
+    "fatal",
     "masked",
     "silent",
     "unfired",
 ];
+
+/// The `--kinds` flag: a comma list of fault kinds (default: all).
+fn parse_fault_kinds(args: &[String]) -> Vec<FaultKind> {
+    let kinds: Vec<FaultKind> = match flag_value(args, "--kinds") {
+        None => FaultKind::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                FaultKind::parse(s).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown fault kind `{s}` (expected: {})",
+                        FaultKind::ALL.map(FaultKind::name).join(", ")
+                    );
+                    exit(2);
+                })
+            })
+            .collect(),
+    };
+    if kinds.is_empty() {
+        usage();
+    }
+    kinds
+}
 
 /// Deterministic fault-injection campaign: per opt set, run `--trials`
 /// seeded [`FaultPlan`]s and classify each run as detected (by which
@@ -545,30 +594,17 @@ fn cmd_inject(args: &[String]) {
     let horizon: u64 = parse_flag(args, "--horizon", 400);
     let budget: u64 = parse_flag(args, "--budget", 20_000);
     let json = args.iter().any(|a| a == "--json");
+    let self_repair = args.iter().any(|a| a == "--self-repair");
     let detect = flag_value(args, "--detect").unwrap_or_else(|| "strict".into());
     if !matches!(detect.as_str(), "strict" | "oracle" | "none") {
         eprintln!("unknown detect mode `{detect}` (expected strict, oracle, none)");
         exit(2);
     }
-    let kinds: Vec<FaultKind> = match flag_value(args, "--kinds") {
-        None => FaultKind::ALL.to_vec(),
-        Some(list) => list
-            .split(',')
-            .filter(|s| !s.is_empty())
-            .map(|s| {
-                FaultKind::parse(s).unwrap_or_else(|| {
-                    eprintln!(
-                        "unknown fault kind `{s}` (expected: {})",
-                        FaultKind::ALL.map(FaultKind::name).join(", ")
-                    );
-                    exit(2);
-                })
-            })
-            .collect(),
-    };
-    if kinds.is_empty() {
-        usage();
+    if self_repair && detect == "none" {
+        eprintln!("--self-repair requires the lockstep oracle (--detect strict or oracle)");
+        exit(2);
     }
+    let kinds = parse_fault_kinds(args);
 
     // A scale at which the kernel *halts* within the budget, so clean runs
     // produce a complete, comparable output stream.
@@ -600,6 +636,7 @@ fn cmd_inject(args: &[String]) {
             let plan = FaultPlan::generate(plan_seed, faults, horizon, &kinds);
             let mut cfg = SimConfig::with_opts(*opts);
             cfg.fault_plan = Some(plan);
+            cfg.self_repair.enabled = self_repair;
             match detect.as_str() {
                 "strict" => {}
                 "oracle" => cfg.fill.strict_verify = false,
@@ -617,13 +654,17 @@ fn cmd_inject(args: &[String]) {
                     sim.faults_fired(),
                     fill_verify,
                     sim.io().output.clone(),
+                    sim.repairs().len() as u64,
                 )
             }));
             let key = match outcome {
                 Err(_) => "detected.panic",
-                Ok((run, fired, fill_verify, output)) => {
+                Ok((run, fired, fill_verify, output, repairs)) => {
                     *table.get_mut("injected").unwrap() += fired;
                     match run {
+                        // An armed machine that still dies is the number the
+                        // repair ladder exists to drive to zero.
+                        Err(_) if self_repair => "fatal",
                         Err(e) => match e.divergence() {
                             Some(rep) if rep.kind == "segment-verify" => "detected.verify",
                             Some(_) => "detected.oracle",
@@ -632,18 +673,20 @@ fn cmd_inject(args: &[String]) {
                         Ok(_) if fired == 0 => "unfired",
                         Ok(RunExit::Exited(code)) => {
                             let clean = output == ref_output && ref_halt == Halt::Exited(code);
-                            match (clean, fill_verify > 0) {
-                                (true, true) => "detected.fill_verify",
-                                (true, false) => "masked",
-                                (false, _) => "silent",
+                            match (clean, repairs > 0, fill_verify > 0) {
+                                (true, true, _) => "recovered",
+                                (true, false, true) => "detected.fill_verify",
+                                (true, false, false) => "masked",
+                                (false, ..) => "silent",
                             }
                         }
                         Ok(RunExit::Break) => {
                             let clean = output == ref_output && ref_halt == Halt::Break;
-                            match (clean, fill_verify > 0) {
-                                (true, true) => "detected.fill_verify",
-                                (true, false) => "masked",
-                                (false, _) => "silent",
+                            match (clean, repairs > 0, fill_verify > 0) {
+                                (true, true, _) => "recovered",
+                                (true, false, true) => "detected.fill_verify",
+                                (true, false, false) => "masked",
+                                (false, ..) => "silent",
                             }
                         }
                         Ok(RunExit::CycleLimit | RunExit::InstrLimit | RunExit::Cancelled) => {
@@ -674,6 +717,7 @@ fn cmd_inject(args: &[String]) {
             .with("faults_per_trial", faults)
             .with("horizon", horizon)
             .with("detect", detect.as_str())
+            .with("self_repair", self_repair)
             .with(
                 "kinds",
                 Json::Arr(kinds.iter().map(|k| Json::from(k.name())).collect()),
@@ -684,8 +728,9 @@ fn cmd_inject(args: &[String]) {
     }
 
     println!(
-        "fault injection: bench={} seed={seed} trials={trials} faults/trial={faults} horizon={horizon} detect={detect}",
-        bench.name
+        "fault injection: bench={} seed={seed} trials={trials} faults/trial={faults} horizon={horizon} detect={detect} self-repair={}",
+        bench.name,
+        if self_repair { "on" } else { "off" }
     );
     print!("{:<22}", "outcome");
     for (label, _) in &tables {
@@ -702,6 +747,208 @@ fn cmd_inject(args: &[String]) {
     let sdc: u64 = tables.iter().map(|(_, t)| t["silent"]).sum();
     if sdc > 0 {
         println!("note: {sdc} silent-data-corruption run(s) — re-run with --detect strict to see the checkers catch them");
+    }
+}
+
+/// Per-cell availability counters for one `heal` sweep cell.
+#[derive(Default)]
+struct HealCell {
+    recovered: u64,
+    clean: u64,
+    silent: u64,
+    hung: u64,
+    fatal: u64,
+    repairs: u64,
+    quarantines: u64,
+    disables: u64,
+    injected: u64,
+}
+
+/// Self-repair availability sweep: every trial runs with the repair
+/// ladder armed and the faults striking the trace-cache read path
+/// (fill-side strict verify off, so *containment* — not early detection —
+/// does the work). The sweep's contract is the acceptance bar: zero fatal
+/// divergences; the exit code is 1 if any armed run dies. Same seed ⇒
+/// byte-identical JSON.
+fn cmd_heal(args: &[String]) {
+    let bench_name = flag_value(args, "--bench").unwrap_or_else(|| "m88k".into());
+    let bench = tracefill_workloads::by_name(&bench_name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown benchmark `{bench_name}` (expected one of: {})",
+            tracefill_workloads::names().join(", ")
+        );
+        exit(2);
+    });
+    let opt_list = parse_opt_list(&flag_value(args, "--opts").unwrap_or_else(|| "none:all".into()));
+    if opt_list.is_empty() {
+        usage();
+    }
+    let seed: u64 = parse_flag(args, "--seed", 1);
+    let trials: u64 = parse_flag(args, "--trials", 20);
+    let faults: usize = parse_flag(args, "--faults", 4);
+    let horizon: u64 = parse_flag(args, "--horizon", 400);
+    let budget: u64 = parse_flag(args, "--budget", 20_000);
+    let ladder_default = RepairConfig::default();
+    let quarantine_after: u64 =
+        parse_flag(args, "--quarantine-after", ladder_default.quarantine_after);
+    let disable_after: u64 = parse_flag(args, "--disable-after", ladder_default.disable_after);
+    let json = args.iter().any(|a| a == "--json");
+    let kinds = parse_fault_kinds(args);
+
+    let scale = ((budget / u64::from(bench.instrs_per_scale.max(1))).max(1)) as u32;
+    let prog = bench.program(scale).unwrap_or_else(|e| {
+        eprintln!("{bench_name}: {e}");
+        exit(1);
+    });
+    let mut reference = Interp::with_io(&prog, IoCtx::default());
+    let ref_halt = reference
+        .run(budget.saturating_mul(50))
+        .unwrap_or_else(|e| {
+            eprintln!("reference interpreter faulted: {e}");
+            exit(1);
+        });
+    let ref_output = reference.io().output.clone();
+
+    // A fault-induced panic counts as fatal here; keep its backtrace off
+    // stderr so the sweep output stays readable.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut cells: Vec<(String, HealCell)> = Vec::new();
+    for (label, opts) in &opt_list {
+        let mut cell = HealCell::default();
+        for trial in 0..trials {
+            let plan_seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(trial + 1));
+            let plan = FaultPlan::generate(plan_seed, faults, horizon, &kinds);
+            let mut cfg = SimConfig::with_opts(*opts);
+            cfg.fault_plan = Some(plan);
+            cfg.fill.strict_verify = false;
+            cfg.self_repair.enabled = true;
+            cfg.self_repair.quarantine_after = quarantine_after;
+            cfg.self_repair.disable_after = disable_after;
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut sim = Simulator::new(&prog, cfg);
+                let exit_state = sim.run_budgeted(budget.saturating_mul(10), 50_000_000, None);
+                let m = sim.report().metrics;
+                (
+                    exit_state,
+                    sim.faults_fired(),
+                    sim.io().output.clone(),
+                    sim.repairs().len() as u64,
+                    m.counter("repair.quarantined"),
+                    m.counter("repair.disabled"),
+                )
+            }));
+            let Ok((run, fired, output, repairs, quarantines, disables)) = outcome else {
+                cell.fatal += 1;
+                continue;
+            };
+            cell.injected += fired;
+            cell.repairs += repairs;
+            cell.quarantines += quarantines;
+            cell.disables += disables;
+            match run {
+                Err(_) => cell.fatal += 1,
+                Ok(RunExit::Exited(code)) => {
+                    let ok = output == ref_output && ref_halt == Halt::Exited(code);
+                    match (ok, repairs > 0) {
+                        (true, true) => cell.recovered += 1,
+                        (true, false) => cell.clean += 1,
+                        (false, _) => cell.silent += 1,
+                    }
+                }
+                Ok(RunExit::Break) => {
+                    let ok = output == ref_output && ref_halt == Halt::Break;
+                    match (ok, repairs > 0) {
+                        (true, true) => cell.recovered += 1,
+                        (true, false) => cell.clean += 1,
+                        (false, _) => cell.silent += 1,
+                    }
+                }
+                Ok(RunExit::CycleLimit | RunExit::InstrLimit | RunExit::Cancelled) => {
+                    cell.hung += 1;
+                }
+            }
+        }
+        cells.push((label.clone(), cell));
+    }
+    std::panic::set_hook(prev_hook);
+
+    let fatal_total: u64 = cells.iter().map(|(_, c)| c.fatal).sum();
+    if json {
+        let mut results = Json::object();
+        for (label, c) in &cells {
+            results = results.with(
+                label,
+                Json::object()
+                    .with("trials", trials)
+                    .with("recovered", c.recovered)
+                    .with("clean", c.clean)
+                    .with("silent", c.silent)
+                    .with("hung", c.hung)
+                    .with("fatal", c.fatal)
+                    .with("repairs", c.repairs)
+                    .with("quarantines", c.quarantines)
+                    .with("disables", c.disables)
+                    .with("injected", c.injected),
+            );
+        }
+        let doc = Json::object()
+            .with("bench", bench.name)
+            .with("seed", seed)
+            .with("trials", trials)
+            .with("faults_per_trial", faults)
+            .with("horizon", horizon)
+            .with(
+                "ladder",
+                Json::object()
+                    .with("quarantine_after", quarantine_after)
+                    .with("disable_after", disable_after),
+            )
+            .with(
+                "kinds",
+                Json::Arr(kinds.iter().map(|k| Json::from(k.name())).collect()),
+            )
+            .with("results", results);
+        println!("{}", doc.dump_pretty(2));
+    } else {
+        println!(
+            "self-repair sweep: bench={} seed={seed} trials={trials} faults/trial={faults} horizon={horizon} ladder={quarantine_after}/{disable_after}",
+            bench.name
+        );
+        println!(
+            "{:<10} {:>9} {:>6} {:>6} {:>5} {:>6} {:>8} {:>11} {:>9} {:>7}",
+            "opts",
+            "recovered",
+            "clean",
+            "silent",
+            "hung",
+            "fatal",
+            "repairs",
+            "quarantines",
+            "disables",
+            "avail%"
+        );
+        for (label, c) in &cells {
+            let completed = c.recovered + c.clean + c.silent;
+            println!(
+                "{:<10} {:>9} {:>6} {:>6} {:>5} {:>6} {:>8} {:>11} {:>9} {:>7.1}",
+                label,
+                c.recovered,
+                c.clean,
+                c.silent,
+                c.hung,
+                c.fatal,
+                c.repairs,
+                c.quarantines,
+                c.disables,
+                100.0 * completed as f64 / trials.max(1) as f64,
+            );
+        }
+    }
+    if fatal_total > 0 {
+        eprintln!("heal: {fatal_total} fatal run(s) escaped the repair ladder");
+        exit(1);
     }
 }
 
@@ -739,8 +986,30 @@ fn cmd_adapt(args: &[String]) {
     spec.fill_latency = parse_flag(args, "--latency", spec.fill_latency);
     spec.warmup = parse_flag(args, "--warmup", spec.warmup);
     spec.budget = parse_flag(args, "--budget", spec.budget);
-    spec.epoch_fills = parse_flag::<u64>(args, "--epoch", spec.epoch_fills).max(1);
+    spec.epoch_fills = parse_flag(args, "--epoch", spec.epoch_fills);
     spec.max_cycles = parse_flag(args, "--max-cycles", spec.max_cycles);
+    // Zero-sized axes silently measure nothing (an epoch of 0 fills can
+    // never advance the controller); reject them instead of clamping.
+    if spec.epoch_fills == 0 {
+        eprintln!("--epoch must be at least 1 (the controller advances once per epoch of fills)");
+        exit(1);
+    }
+    if spec.budget == 0 {
+        eprintln!("--budget must be at least 1 (a zero-instruction window measures nothing)");
+        exit(1);
+    }
+    if spec.max_cycles == 0 {
+        eprintln!("--max-cycles must be at least 1 (a zero-cycle cap stops every run at birth)");
+        exit(1);
+    }
+    if spec.benchmarks.is_empty() {
+        eprintln!("--bench selected no benchmarks (empty campaign axis)");
+        exit(1);
+    }
+    if spec.opt_specs.is_empty() {
+        eprintln!("--opts selected no optimization sets (empty campaign axis)");
+        exit(1);
+    }
     let out = flag_value(args, "--out");
     if let Some(o) = &out {
         ensure_writable_path(o);
@@ -1021,6 +1290,7 @@ fn cmd_report(args: &[String]) {
         "table2" => print!("{}", report::table2_table(&records)),
         "cpi" => print!("{}", report::cpi_table(&records)),
         "ledger" => print!("{}", report::ledger_table(&records)),
+        "repair" => print!("{}", report::availability_table(&records)),
         "summary" => print!("{}", report::summary(&records)),
         "all" => {
             print!("{}", report::summary(&records));
@@ -1032,10 +1302,12 @@ fn cmd_report(args: &[String]) {
             print!("{}", report::cpi_table(&records));
             println!();
             print!("{}", report::ledger_table(&records));
+            println!();
+            print!("{}", report::availability_table(&records));
         }
         other => {
             eprintln!(
-                "unknown report format `{other}` (expected fig8, table2, cpi, ledger, summary, all)"
+                "unknown report format `{other}` (expected fig8, table2, cpi, ledger, repair, summary, all)"
             );
             exit(2);
         }
@@ -1055,6 +1327,7 @@ fn main() {
         Some("report") => cmd_report(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("inject") => cmd_inject(&args[1..]),
+        Some("heal") => cmd_heal(&args[1..]),
         Some("adapt") => cmd_adapt(&args[1..]),
         _ => usage(),
     }

@@ -10,10 +10,11 @@
 use crate::builder::{FillInput, SegmentBuilder};
 use crate::config::FillConfig;
 use crate::opt::{self, OptCounts};
+use crate::quarantine::{Escalation, Quarantine, QuarantineConfig};
 use crate::segment::{SegEnd, Segment};
 use std::collections::VecDeque;
 use std::sync::Arc;
-use tracefill_policy::PassController;
+use tracefill_policy::{PassController, PassMask};
 use tracefill_util::Registry;
 
 /// Histogram bucket bounds for finalized-segment lengths (instructions).
@@ -58,6 +59,8 @@ pub struct VerifyFailure {
     pub passes: Vec<&'static str>,
     /// Injected-fault note, if the segment had been corrupted.
     pub fault: Option<String>,
+    /// The segment's termination cause (its quarantine provenance class).
+    pub end: &'static str,
 }
 
 /// The fill unit.
@@ -101,6 +104,10 @@ pub struct FillUnit {
     /// The online pass controller, when [`FillConfig::controller`] enables
     /// one. `None` reproduces the static machine exactly.
     controller: Option<PassController>,
+    /// The self-repair escalation ladder, when the simulator enables it.
+    /// `None` (the default) leaves the finalize path bit-identical to the
+    /// machine without self-repair.
+    quarantine: Option<Quarantine>,
 }
 
 impl FillUnit {
@@ -115,7 +122,52 @@ impl FillUnit {
             telemetry: Registry::new(),
             next_seg_id: 1,
             verify_failure: None,
+            quarantine: None,
         }
+    }
+
+    /// Arms the self-repair escalation ladder. Segments of a quarantined
+    /// `(pass, class)` pair are built without that pass from here on.
+    pub fn enable_quarantine(&mut self, cfg: QuarantineConfig) {
+        self.quarantine = Some(Quarantine::new(cfg));
+    }
+
+    /// The escalation ladder, if armed.
+    pub fn quarantine(&self) -> Option<&Quarantine> {
+        self.quarantine.as_ref()
+    }
+
+    /// Charges one repair offense to `passes` under provenance class
+    /// `class` and applies any resulting ladder transitions: `Disabled`
+    /// escalations are also pushed into the online pass controller (when
+    /// one is running) so its arm statistics reflect the shrunken pass
+    /// set. Returns the transitions for reporting. No-op (empty) when the
+    /// ladder is not armed.
+    pub fn record_offense(
+        &mut self,
+        passes: &[&'static str],
+        class: &'static str,
+    ) -> Vec<Escalation> {
+        let Some(q) = self.quarantine.as_mut() else {
+            return Vec::new();
+        };
+        let escalations = q.record_offense(passes, class);
+        if let Some(c) = self.controller.as_mut() {
+            for esc in &escalations {
+                if let Escalation::Disabled { pass } = esc {
+                    c.block_passes(PassMask::from_token(pass));
+                }
+            }
+        }
+        escalations
+    }
+
+    /// Discards the builder's partial (not yet finalized) segment, leaving
+    /// in-flight pipeline segments untouched. Used by self-repair: the
+    /// partial segment straddles the divergence point and must not be
+    /// cached.
+    pub fn flush_partial(&mut self) {
+        let _ = self.builder.finalize(SegEnd::Flushed);
     }
 
     /// The active configuration.
@@ -172,10 +224,22 @@ impl FillUnit {
         self.next_seg_id += 1;
         // The controller's current arm gates which passes run this epoch;
         // pass parameters always come from the static configuration.
-        let opts = match &self.controller {
+        let mut opts = match &self.controller {
             Some(c) => self.config.opts.with_mask(c.current()),
             None => self.config.opts,
         };
+        // The repair ladder then subtracts quarantined/disabled passes for
+        // this segment's provenance class. An unarmed or empty ladder
+        // leaves `opts` untouched, preserving bit-identity with the
+        // machine without self-repair.
+        if let Some(q) = &self.quarantine {
+            if q.any_blocked() {
+                let blocked = q.blocked_for(end.name());
+                if !blocked.is_empty() {
+                    opts = opts.with_mask(opts.to_mask().minus(blocked));
+                }
+            }
+        }
         let counts =
             opt::apply_all_telemetry(&mut seg, &opts, &self.config.clusters, &mut self.telemetry);
         self.stats.segments += 1;
@@ -218,6 +282,7 @@ impl FillUnit {
                         detail,
                         passes: seg.provenance.passes(),
                         fault: seg.provenance.fault.clone(),
+                        end: end.name(),
                     });
                 }
                 return;
@@ -360,6 +425,54 @@ mod tests {
         // 4 fills at epoch_fills=2 => 2 closed epochs in telemetry.
         assert_eq!(fu.telemetry().counter("policy.epochs"), 2);
         assert_eq!(fu.telemetry().counter("policy.arm.none"), 2);
+    }
+
+    #[test]
+    fn quarantine_gates_passes_by_provenance_class() {
+        let syscall = Instr {
+            op: Op::Syscall,
+            rd: r(0),
+            rs: r(0),
+            rt: r(0),
+            imm: 0,
+        };
+        let mut fu = FillUnit::new(FillConfig {
+            opts: OptConfig::all(),
+            latency: 0,
+            ..FillConfig::default()
+        });
+        fu.enable_quarantine(QuarantineConfig {
+            quarantine_after: 1,
+            disable_after: 100,
+        });
+        // Quarantine `moves` for serialize-terminated segments only.
+        let esc = fu.record_offense(&["moves"], "serialize");
+        assert_eq!(esc.len(), 1);
+        // A serialize-terminated segment with a move idiom: pass gated off.
+        feed(&mut fu, 0x1000, addi(8, 9, 0), 0);
+        feed(&mut fu, 0x1004, addi(10, 8, 4), 1);
+        feed(&mut fu, 0x1008, syscall, 2);
+        assert_eq!(fu.stats().opts.moves, 0, "quarantined for this class");
+        // A full (16-slot) segment with the same idiom: pass still runs.
+        feed(&mut fu, 0x2000, addi(8, 9, 0), 10);
+        feed(&mut fu, 0x2004, addi(10, 8, 4), 11);
+        for i in 2..16u32 {
+            feed(&mut fu, 0x2000 + 4 * i, addi(11, 11, 1), 10 + u64::from(i));
+        }
+        assert_eq!(fu.stats().opts.moves, 1, "other classes unaffected");
+    }
+
+    #[test]
+    fn flush_partial_discards_without_caching() {
+        let mut fu = FillUnit::new(FillConfig {
+            latency: 0,
+            ..FillConfig::default()
+        });
+        feed(&mut fu, 0x1000, addi(8, 8, 1), 0);
+        fu.flush_partial();
+        assert_eq!(fu.in_flight(), 0);
+        assert_eq!(fu.stats().segments, 0);
+        assert!(fu.drain_ready(1000).is_empty());
     }
 
     #[test]

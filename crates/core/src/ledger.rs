@@ -42,6 +42,9 @@ pub enum EvictCause {
     Conflict,
     /// Replaced in place by a rebuilt same-address, same-path segment.
     Refresh,
+    /// Invalidated by the self-repair path after a divergence implicated
+    /// the line.
+    Repair,
 }
 
 impl EvictCause {
@@ -50,6 +53,7 @@ impl EvictCause {
         match self {
             EvictCause::Conflict => "conflict",
             EvictCause::Refresh => "refresh",
+            EvictCause::Repair => "repair",
         }
     }
 }
@@ -266,6 +270,20 @@ impl Ledger {
         }
     }
 
+    /// Segment `seg_id` was invalidated out of the cache at cycle `now`
+    /// by the self-repair path; closes its record with
+    /// [`EvictCause::Repair`].
+    pub fn on_invalidate(&mut self, seg_id: u64, now: u64) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(rec) = self.records.get_mut(&seg_id) {
+            if rec.evicted.is_none() {
+                rec.evicted = Some((now, EvictCause::Repair));
+            }
+        }
+    }
+
     /// One uop fetched from segment `seg_id` was squashed by recovery.
     pub fn on_squash(&mut self, seg_id: u64) {
         if !self.enabled {
@@ -313,6 +331,7 @@ impl Ledger {
         let mut resident = 0u64;
         let mut conflict = 0u64;
         let mut refresh = 0u64;
+        let mut repair = 0u64;
         let (mut hits, mut fetched, mut retired, mut squashed) = (0u64, 0u64, 0u64, 0u64);
         for r in self.records.values() {
             reuse.observe(r.hits);
@@ -323,6 +342,7 @@ impl Ledger {
                 None => resident += 1,
                 Some((_, EvictCause::Conflict)) => conflict += 1,
                 Some((_, EvictCause::Refresh)) => refresh += 1,
+                Some((_, EvictCause::Repair)) => repair += 1,
             }
             hits += r.hits;
             fetched += r.uops_fetched;
@@ -383,7 +403,8 @@ impl Ledger {
                 "evicted",
                 Json::object()
                     .with("conflict", conflict)
-                    .with("refresh", refresh),
+                    .with("refresh", refresh)
+                    .with("repair", repair),
             )
             .with("doa", doa)
             .with("hits", hits)

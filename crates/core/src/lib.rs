@@ -59,11 +59,13 @@ pub mod config;
 pub mod fill;
 pub mod ledger;
 pub mod opt;
+pub mod quarantine;
 pub mod segment;
 pub mod tcache;
 
 pub use config::{FillConfig, OptConfig, TraceCacheConfig};
 pub use fill::{FillUnit, VerifyFailure};
 pub use ledger::{EvictCause, Ledger, SegRecord, SegSpan};
+pub use quarantine::{Escalation, Quarantine, QuarantineConfig};
 pub use segment::{Provenance, SegSlot, Segment, SrcRef};
 pub use tcache::{InsertOutcome, TraceCache};

@@ -259,6 +259,28 @@ impl TraceCache {
         InsertOutcome::Evicted(prev)
     }
 
+    /// Removes the line holding segment `seg_id` at fetch address
+    /// `start_pc`, returning it if it was cached. Used by the self-repair
+    /// path to surgically drop a segment implicated in a divergence.
+    ///
+    /// The set is compacted by sliding its last way into the vacated slot
+    /// (the policy carries the moved line's state via
+    /// [`ReplacePolicy::on_move`]), preserving the left-to-right occupancy
+    /// invariant the policies rely on.
+    pub fn invalidate(&mut self, start_pc: u32, seg_id: u64) -> Option<Arc<Segment>> {
+        let set = self.set_of(start_pc);
+        let set_ways = &mut self.sets[set];
+        let pos = set_ways
+            .iter()
+            .position(|w| w.tag == start_pc && w.seg.provenance.seg_id == seg_id)?;
+        let last = set_ways.len() - 1;
+        let removed = set_ways.swap_remove(pos);
+        if pos != last {
+            self.policy.on_move(set, last, pos);
+        }
+        Some(removed.seg)
+    }
+
     /// Hit / eviction / eviction-age totals from the replacement policy's
     /// own bookkeeping. Cross-checkable against [`stats`](Self::stats):
     /// `counters.hits == stats.hits` and
@@ -373,6 +395,38 @@ mod tests {
         // Different path is a separate way, not a refresh.
         tc.insert(seg_with_path(pc, false));
         assert_eq!(tc.stats().refreshes, 1);
+    }
+
+    #[test]
+    fn invalidate_removes_the_named_line_and_compacts_the_set() {
+        let mut tc = small_tc();
+        let pc = 0x40_0000;
+        let with_id = |taken: bool, id: u64| {
+            let mut s = (*seg_with_path(pc, taken)).clone();
+            s.provenance.seg_id = id;
+            Arc::new(s)
+        };
+        let a = with_id(true, 7);
+        let b = with_id(false, 8);
+        let (a_id, b_id) = (a.provenance.seg_id, b.provenance.seg_id);
+        tc.insert(Arc::clone(&a));
+        tc.insert(Arc::clone(&b));
+        // Wrong pc or wrong seg id: no line is touched.
+        assert!(tc.invalidate(pc + 4, a_id).is_none());
+        assert!(tc.invalidate(pc, a_id.wrapping_add(1000)).is_none());
+        // Invalidate way 0: way 1 compacts into its slot and both the
+        // survivor and future inserts keep working.
+        let removed = tc.invalidate(pc, a_id).expect("line was cached");
+        assert!(Arc::ptr_eq(&removed, &a));
+        let hit = tc.lookup(pc, &[false]).unwrap();
+        assert_eq!(hit.seg.provenance.seg_id, b_id);
+        // The invalidated path is gone (the survivor partially matches).
+        assert!(!tc.lookup(pc, &[true]).unwrap().path.full);
+        // Re-inserting fills the vacated way rather than evicting.
+        let evictions = tc.stats().evictions;
+        tc.insert(seg_with_path(pc, true));
+        assert_eq!(tc.stats().evictions, evictions);
+        assert!(tc.lookup(pc, &[true]).unwrap().path.full);
     }
 
     #[test]

@@ -86,6 +86,7 @@ impl AdaptSpec {
             controller,
             epoch_fills: self.epoch_fills,
             ledger: false,
+            self_repair: false,
         }
     }
 }

@@ -79,6 +79,10 @@ pub struct RunDescriptor {
     /// simulation itself is identical either way, but the flag is part of
     /// the id so ledgered rows never shadow plain ones.
     pub ledger: bool,
+    /// Run with self-repair armed: divergences are contained (squash,
+    /// restore, invalidate, quarantine) instead of failing the row. Part
+    /// of the id so repaired rows never shadow plain ones.
+    pub self_repair: bool,
 }
 
 impl RunDescriptor {
@@ -107,6 +111,9 @@ impl RunDescriptor {
         }
         if self.ledger {
             key.push_str(";ledger=on");
+        }
+        if self.self_repair {
+            key.push_str(";repair=on");
         }
         format!("{:016x}", fnv1a64(key.as_bytes()))
     }
@@ -145,6 +152,9 @@ pub struct CampaignSpec {
     /// Collect the segment lifetime ledger on every run (off by default;
     /// see [`RunDescriptor::ledger`]).
     pub ledger: bool,
+    /// Arm self-repair on every run (off by default; see
+    /// [`RunDescriptor::self_repair`]).
+    pub self_repair: bool,
 }
 
 impl CampaignSpec {
@@ -178,6 +188,7 @@ impl CampaignSpec {
             controller: "off".to_string(),
             epoch_fills: 1024,
             ledger: false,
+            self_repair: false,
         }
     }
 
@@ -242,6 +253,7 @@ impl CampaignSpec {
                                 controller,
                                 epoch_fills: self.epoch_fills,
                                 ledger: self.ledger,
+                                self_repair: self.self_repair,
                             };
                             desc.run_id = desc.content_id();
                             out.push(desc);
@@ -300,6 +312,7 @@ impl CampaignSpec {
             .with("controller", self.controller.as_str())
             .with("epoch_fills", self.epoch_fills)
             .with("ledger", self.ledger)
+            .with("self_repair", self.self_repair)
     }
 
     /// Parses a spec from its JSON form. Omitted fields fall back to the
@@ -417,6 +430,13 @@ impl CampaignSpec {
             Some(j) => j.as_bool().ok_or_else(|| format!("bad `ledger`: {j:?}"))?,
         };
 
+        let self_repair = match v.get("self_repair") {
+            None => defaults.self_repair,
+            Some(j) => j
+                .as_bool()
+                .ok_or_else(|| format!("bad `self_repair`: {j:?}"))?,
+        };
+
         let spec = CampaignSpec {
             name,
             opt_sets,
@@ -431,6 +451,7 @@ impl CampaignSpec {
             controller,
             epoch_fills: num("epoch_fills", defaults.epoch_fills)?.max(1),
             ledger,
+            self_repair,
         };
         if spec.opt_sets.is_empty()
             || spec.fill_latencies.is_empty()
@@ -534,6 +555,31 @@ mod tests {
         // Specs stored before the flag existed default to off.
         let old = CampaignSpec::from_json(r#"{"benchmarks":["m88k"]}"#).unwrap();
         assert!(!old.ledger);
+    }
+
+    #[test]
+    fn self_repair_toggle_splits_ids_but_default_stays_legacy() {
+        let mut spec = CampaignSpec::fig8();
+        let base = spec.expand();
+        spec.self_repair = true;
+        let repaired = spec.expand();
+        assert_eq!(base.len(), repaired.len());
+        let base_ids: std::collections::HashSet<_> =
+            base.iter().map(|r| r.run_id.clone()).collect();
+        for r in &repaired {
+            assert!(r.self_repair);
+            assert!(
+                !base_ids.contains(&r.run_id),
+                "self-repair rows must not shadow plain rows"
+            );
+        }
+        // Round-trips through JSON.
+        let back = CampaignSpec::from_json(&spec.to_json().dump()).unwrap();
+        assert_eq!(spec, back);
+        // Specs stored before the flag existed default to off.
+        let old = CampaignSpec::from_json(r#"{"benchmarks":["m88k"]}"#).unwrap();
+        assert!(!old.self_repair);
+        assert!(CampaignSpec::from_json(r#"{"self_repair":3}"#).is_err());
     }
 
     #[test]

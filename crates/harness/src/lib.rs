@@ -49,5 +49,5 @@ pub mod store;
 pub use adapt::{run_adapt, AdaptSpec};
 pub use grid::{CampaignSpec, OptPoint, RunDescriptor};
 pub use pool::{run_campaign, run_campaign_with, CampaignOptions, CampaignSummary};
-pub use runner::{RunRecord, RunStatus};
+pub use runner::{RepairSummary, RunRecord, RunStatus};
 pub use store::ResultStore;

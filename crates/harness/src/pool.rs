@@ -375,6 +375,7 @@ fn empty_record(desc: &RunDescriptor, campaign: &str, status: RunStatus) -> RunR
         stats: tracefill_sim::Stats::default(),
         cpi: tracefill_sim::CpiStack::default(),
         metrics: tracefill_util::Registry::new(),
+        repair: desc.self_repair.then(crate::runner::RepairSummary::default),
         wall_ms: 0,
     }
 }

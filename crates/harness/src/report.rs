@@ -426,6 +426,81 @@ pub fn ledger_table(records: &[RunRecord]) -> String {
     s
 }
 
+/// The self-repair availability table: per-`(bench, opt, latency)`
+/// roll-up of the rows that carry a repair summary (runs executed with
+/// `--self-repair`). `recovered` counts runs that completed after at least
+/// one contained failure, `fatal` counts armed runs that still died, and
+/// `avail%` is completed-over-total — the headline number the repair
+/// ladder exists to keep at 100. Plain rows (no summary) are skipped; if
+/// none carry one the table says so.
+#[must_use]
+pub fn availability_table(records: &[RunRecord]) -> String {
+    #[derive(Default)]
+    struct Cell {
+        runs: u64,
+        completed: u64,
+        recovered: u64,
+        fatal: u64,
+        repairs: u64,
+        quarantined: u64,
+        disabled: u64,
+    }
+    let mut cells: BTreeMap<(usize, String, String, u32), Cell> = BTreeMap::new();
+    for r in records {
+        let Some(rep) = r.repair else { continue };
+        let (ord, bench) = bench_order(&r.bench);
+        let cell = cells
+            .entry((ord, bench, r.opt_label.clone(), r.fill_latency))
+            .or_default();
+        cell.runs += 1;
+        cell.repairs += rep.repairs;
+        cell.quarantined += rep.quarantined;
+        cell.disabled += rep.disabled;
+        if r.status.is_ok() {
+            cell.completed += 1;
+            if rep.repairs > 0 {
+                cell.recovered += 1;
+            }
+        } else {
+            cell.fatal += 1;
+        }
+    }
+    if cells.is_empty() {
+        return "no rows carry repair summaries (run the campaign with --self-repair)\n"
+            .to_string();
+    }
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:8} {:>12} {:>6} {:>10} {:>6} {:>8} {:>11} {:>9} {:>7}",
+        "bench",
+        "cell",
+        "runs",
+        "recovered",
+        "fatal",
+        "repairs",
+        "quarantines",
+        "disables",
+        "avail%"
+    );
+    for ((_, bench, opt, lat), c) in &cells {
+        let _ = writeln!(
+            s,
+            "{:8} {:>12} {:>6} {:>10} {:>6} {:>8} {:>11} {:>9} {:>7.1}",
+            bench,
+            format!("{opt}@lat{lat}"),
+            c.runs,
+            c.recovered,
+            c.fatal,
+            c.repairs,
+            c.quarantined,
+            c.disabled,
+            100.0 * c.completed as f64 / c.runs.max(1) as f64,
+        );
+    }
+    s
+}
+
 /// A status roll-up: how many rows ended in each state, plus totals.
 #[must_use]
 pub fn summary(records: &[RunRecord]) -> String {
@@ -497,6 +572,7 @@ mod tests {
             },
             cpi: tracefill_sim::CpiStack::default(),
             metrics: tracefill_util::Registry::new(),
+            repair: None,
             wall_ms: 1,
         }
     }
@@ -632,6 +708,45 @@ mod tests {
         b.reverse();
         assert_eq!(ledger_table(&a), ledger_table(&b));
         assert!(!ledger_table(&a).contains("999"));
+    }
+
+    fn row_with_repair(bench: &str, seed: u64, repairs: u64, quarantined: u64) -> RunRecord {
+        let mut r = row(bench, "all", 1, 2.0);
+        r.run_id = format!("{bench}-repair-{seed}");
+        r.seed = seed;
+        r.repair = Some(crate::runner::RepairSummary {
+            repairs,
+            quarantined,
+            disabled: 0,
+        });
+        r
+    }
+
+    #[test]
+    fn availability_table_counts_recovered_and_fatal_rows() {
+        let mut fatal = row_with_repair("m88k", 2, 3, 1);
+        fatal.status = RunStatus::SimError("lockstep divergence".to_string());
+        let records = vec![
+            row("m88k", "all", 1, 2.0), // plain row: skipped
+            row_with_repair("m88k", 0, 0, 0),
+            row_with_repair("m88k", 1, 4, 2),
+            fatal.clone(),
+        ];
+        let t = availability_table(&records);
+        // 3 armed rows: 1 clean, 1 recovered, 1 fatal; repairs sum to 7.
+        assert!(t.contains(" 3 "), "3 armed runs:\n{t}");
+        assert!(t.contains(" 7 "), "repairs sum to 7:\n{t}");
+        assert!(t.contains("66.7"), "availability 2/3:\n{t}");
+        // Ordering-independent (BTreeMap cells).
+        let mut rev = records.clone();
+        rev.reverse();
+        assert_eq!(t, availability_table(&rev));
+    }
+
+    #[test]
+    fn availability_table_without_armed_rows_says_so() {
+        let t = availability_table(&[row("m88k", "all", 1, 2.0)]);
+        assert!(t.contains("no rows carry repair summaries"), "{t}");
     }
 
     /// Builds a row whose windowed CPI stack is slot-exact for 16-wide

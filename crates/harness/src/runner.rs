@@ -80,6 +80,43 @@ impl RunStatus {
     }
 }
 
+/// Self-repair availability counters for one run — present only on rows
+/// produced with `--self-repair`, so plain stores stay byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairSummary {
+    /// Contained failures (0 for a clean armed run).
+    pub repairs: u64,
+    /// Pass quarantines the ladder issued.
+    pub quarantined: u64,
+    /// Machine-wide pass disables the ladder issued.
+    pub disabled: u64,
+}
+
+impl RepairSummary {
+    fn to_json(self) -> Json {
+        Json::object()
+            .with("repairs", self.repairs)
+            .with("quarantined", self.quarantined)
+            .with("disabled", self.disabled)
+    }
+
+    /// Strict parse: a present-but-malformed `repair` member is an error,
+    /// so the store loader can count and skip rows written by a newer
+    /// incompatible tool instead of silently misreading them.
+    fn from_json(v: &Json) -> Result<RepairSummary, String> {
+        let u = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("repair summary missing number `{k}`"))
+        };
+        Ok(RepairSummary {
+            repairs: u("repairs")?,
+            quarantined: u("quarantined")?,
+            disabled: u("disabled")?,
+        })
+    }
+}
+
 /// One completed run — the JSONL row format of the result store.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
@@ -115,6 +152,9 @@ pub struct RunRecord {
     /// Fill-unit and pipeline telemetry at end of run (accept/reject
     /// counters, distributions; empty for pre-telemetry rows).
     pub metrics: Registry,
+    /// Self-repair availability counters; `None` for plain rows (and for
+    /// every row written before self-repair existed).
+    pub repair: Option<RepairSummary>,
     /// Wall-clock milliseconds the run took (timing field: excluded from
     /// determinism comparisons).
     pub wall_ms: u64,
@@ -137,6 +177,9 @@ impl RunRecord {
             .with("status", self.status.tag());
         if let Some(d) = self.status.detail() {
             v = v.with("detail", d);
+        }
+        if let Some(r) = self.repair {
+            v = v.with("repair", r.to_json());
         }
         v.with("ipc", self.ipc)
             .with("window_cycles", self.window_cycles)
@@ -209,6 +252,10 @@ impl RunRecord {
                 .get("metrics")
                 .and_then(|m| Registry::from_json(m).ok())
                 .unwrap_or_default(),
+            repair: match v.get("repair") {
+                None => None,
+                Some(r) => Some(RepairSummary::from_json(r)?),
+            },
             wall_ms: u("wall_ms").unwrap_or(0),
         })
     }
@@ -315,6 +362,7 @@ pub fn execute(desc: &RunDescriptor, campaign: &str, cancel: Option<&AtomicBool>
         stats: Stats::default(),
         cpi: CpiStack::default(),
         metrics: Registry::new(),
+        repair: desc.self_repair.then(RepairSummary::default),
         wall_ms: 0,
     };
 
@@ -331,6 +379,7 @@ pub fn execute(desc: &RunDescriptor, campaign: &str, cancel: Option<&AtomicBool>
     cfg.fill.latency = desc.fill_latency;
     cfg.tcache.policy = desc.policy;
     cfg.ledger = desc.ledger;
+    cfg.self_repair.enabled = desc.self_repair;
     if desc.controller != ControllerMode::Off {
         cfg.fill.controller = ControllerConfig {
             mode: desc.controller,
@@ -359,6 +408,13 @@ pub fn execute(desc: &RunDescriptor, campaign: &str, cancel: Option<&AtomicBool>
     record.stats = sim.stats();
     record.cpi = sim.cpi().delta_since(&cpi0);
     record.metrics = sim.report().metrics;
+    if desc.self_repair {
+        record.repair = Some(RepairSummary {
+            repairs: record.metrics.counter("repair.total"),
+            quarantined: record.metrics.counter("repair.quarantined"),
+            disabled: record.metrics.counter("repair.disabled"),
+        });
+    }
     record.status = match phase {
         Phase::Done => RunStatus::Ok,
         Phase::Failed(status) => status,
@@ -407,6 +463,41 @@ mod tests {
         // Observation only: the simulation itself is identical.
         assert_eq!(rec.stats, plain.stats);
         assert_eq!(rec.window_cycles, plain.window_cycles);
+    }
+
+    #[test]
+    fn self_repair_runs_carry_a_summary_without_perturbing_the_run() {
+        let plain_desc = tiny_desc("m88k");
+        let plain = execute(&plain_desc, "t", None);
+        assert_eq!(plain.repair, None);
+        assert!(!plain.to_json().dump().contains("\"repair\""));
+        let mut desc = plain_desc;
+        desc.self_repair = true;
+        let rec = execute(&desc, "t", None);
+        assert!(rec.status.is_ok(), "{:?}", rec.status);
+        // A healthy machine records zero repairs — and simulates
+        // identically to the plain run.
+        assert_eq!(rec.repair, Some(RepairSummary::default()));
+        assert_eq!(rec.stats, plain.stats);
+        assert_eq!(rec.window_cycles, plain.window_cycles);
+        let back = RunRecord::from_json(&Json::parse(&rec.to_json().dump()).unwrap()).unwrap();
+        assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn malformed_repair_member_is_a_parse_error() {
+        let rec = execute(&tiny_desc("comp"), "test", None);
+        let mut row = rec.to_json();
+        row = row.with("repair", Json::from("broken"));
+        let err = RunRecord::from_json(&row).unwrap_err();
+        assert!(err.contains("repair"), "{err}");
+        row = rec
+            .to_json()
+            .with("repair", Json::object().with("repairs", 1u64));
+        assert!(
+            RunRecord::from_json(&row).is_err(),
+            "partial summary rejected"
+        );
     }
 
     #[test]

@@ -314,6 +314,7 @@ mod tests {
             stats: Stats::default(),
             cpi: tracefill_sim::CpiStack::default(),
             metrics: tracefill_util::Registry::new(),
+            repair: None,
             wall_ms: 7,
         }
     }

@@ -33,6 +33,7 @@ fn small_spec() -> CampaignSpec {
         controller: "off".to_string(),
         epoch_fills: 1024,
         ledger: false,
+        self_repair: false,
     }
 }
 

@@ -6,7 +6,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use tracefill_core::config::OptConfig;
 use tracefill_harness::{
-    report, run_campaign_with, CampaignOptions, CampaignSpec, OptPoint, ResultStore, RunStatus,
+    report, run_campaign_with, CampaignOptions, CampaignSpec, OptPoint, RepairSummary, ResultStore,
+    RunStatus,
 };
 
 fn spec(name: &str, benches: &[&str], seeds: &[u64], budget: u64) -> CampaignSpec {
@@ -27,6 +28,7 @@ fn spec(name: &str, benches: &[&str], seeds: &[u64], budget: u64) -> CampaignSpe
         controller: "off".to_string(),
         epoch_fills: 1024,
         ledger: false,
+        self_repair: false,
     }
 }
 
@@ -198,6 +200,76 @@ fn external_cancel_flag_stops_the_campaign() {
         flag.load(Ordering::Relaxed),
         "the caller's flag is not reset"
     );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn unreadable_repair_columns_are_counted_skipped_and_resume_survives() {
+    // Forward compatibility: a store that has been touched by a newer tool
+    // (rows whose `repair` member this version cannot read) must load with
+    // those rows counted and skipped — and resuming a campaign over the
+    // same store must still work.
+    let s = spec("rb-fwd", &["m88k"], &[0, 1], 2_000);
+    let path = tmp("fwd");
+    let mut store = ResultStore::open(&path).unwrap();
+    let options = CampaignOptions::standard(1, false);
+    run_campaign_with(&s, &mut store, &options).unwrap();
+    let (clean, malformed) = store.load_counted().unwrap();
+    assert_eq!((clean.len(), malformed), (2, 0));
+    assert!(
+        clean.iter().all(|r| r.repair.is_none()),
+        "rows written without --self-repair carry no summary"
+    );
+
+    // Hand-append what a future tool might have merged in: two rows with
+    // repair shapes this version can't read, one well-formed armed row.
+    use std::io::Write as _;
+    use tracefill_util::Json;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    let mut foreign = clean[0].clone();
+    foreign.run_id = "future-row-a".to_string();
+    let wrong_type = foreign.to_json().with("repair", Json::from("v9-opaque"));
+    writeln!(f, "{}", wrong_type.dump()).unwrap();
+    foreign.run_id = "future-row-b".to_string();
+    let missing_counters = foreign
+        .to_json()
+        .with("repair", Json::object().with("repairs", 3u64));
+    writeln!(f, "{}", missing_counters.dump()).unwrap();
+    foreign.run_id = "future-row-c".to_string();
+    foreign.repair = Some(RepairSummary {
+        repairs: 2,
+        quarantined: 1,
+        disabled: 0,
+    });
+    writeln!(f, "{}", foreign.to_json().dump()).unwrap();
+    drop(f);
+
+    let (records, malformed) = store.load_counted().unwrap();
+    assert_eq!(malformed, 2, "each unreadable row costs exactly one row");
+    assert_eq!(
+        records.len(),
+        3,
+        "campaign rows plus the well-formed armed row"
+    );
+    assert!(records.iter().any(|r| r.repair
+        == Some(RepairSummary {
+            repairs: 2,
+            quarantined: 1,
+            disabled: 0,
+        })));
+    // The report layer renders availability from the surviving rows.
+    let t = report::availability_table(&records);
+    assert!(t.contains("avail%"), "{t}");
+
+    // Resume over the same spec: the foreign rows neither block nor
+    // re-execute anything.
+    let mut store = ResultStore::open(&path).unwrap();
+    let resumed = run_campaign_with(&s, &mut store, &options).unwrap();
+    assert_eq!(resumed.skipped, 2, "both original grid points skip");
+    assert_eq!(resumed.executed, 0);
     let _ = std::fs::remove_file(&path);
 }
 

@@ -156,6 +156,11 @@ pub struct PassController {
     fills: u64,
     instrs: u64,
     epoch_start: Option<u64>,
+    /// Passes withdrawn from service (the self-repair ladder's
+    /// machine-wide disable). Subtracted from [`current`](Self::current)
+    /// so arms keep their identity — and their reward statistics — while
+    /// the offending pass sits out the rest of the run.
+    blocked: PassMask,
 }
 
 impl PassController {
@@ -181,14 +186,30 @@ impl PassController {
             fills: 0,
             instrs: 0,
             epoch_start: None,
+            blocked: PassMask::NONE,
             cfg,
         })
     }
 
-    /// The pass subset segments finalized now should be optimized with.
+    /// The pass subset segments finalized now should be optimized with:
+    /// the current arm minus any passes withdrawn via
+    /// [`block_passes`](Self::block_passes).
     #[must_use]
     pub fn current(&self) -> PassMask {
-        self.arms[self.current]
+        self.arms[self.current].minus(self.blocked)
+    }
+
+    /// Withdraws `passes` from every future arm selection (cumulative).
+    /// Used by the self-repair escalation ladder when a pass is disabled
+    /// machine-wide.
+    pub fn block_passes(&mut self, passes: PassMask) {
+        self.blocked = self.blocked.union(passes);
+    }
+
+    /// The cumulative blocked mask.
+    #[must_use]
+    pub fn blocked(&self) -> PassMask {
+        self.blocked
     }
 
     /// Epochs completed so far.
@@ -394,5 +415,24 @@ mod tests {
         assert!(ControllerMode::parse("egreedy:lots").is_err());
         assert!(ControllerMode::parse("static:frob").is_err());
         assert!(ControllerMode::parse("off:3").is_err());
+    }
+
+    #[test]
+    fn blocked_passes_are_subtracted_from_every_arm() {
+        let mut c = PassController::new(cfg(ControllerMode::Static(PassMask::ALL))).unwrap();
+        assert_eq!(c.current(), PassMask::ALL);
+        c.block_passes(PassMask::SCADD);
+        assert_eq!(c.current(), PassMask::ALL.minus(PassMask::SCADD));
+        c.block_passes(PassMask::MOVES);
+        assert_eq!(
+            c.current(),
+            PassMask::ALL.minus(PassMask::SCADD).minus(PassMask::MOVES)
+        );
+        assert_eq!(c.blocked(), PassMask::SCADD.union(PassMask::MOVES));
+        // Arm identity (and its stats) survive the block: epochs still close.
+        c.on_retire(5);
+        c.on_fill(10);
+        c.on_fill(20);
+        assert_eq!(c.epochs(), 1);
     }
 }

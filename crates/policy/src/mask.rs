@@ -50,6 +50,28 @@ impl PassMask {
         PassMask(self.0 | other.0)
     }
 
+    /// The set difference: every pass in `self` that is not in `other`.
+    #[must_use]
+    pub fn minus(self, other: PassMask) -> PassMask {
+        PassMask(self.0 & !other.0)
+    }
+
+    /// Whether no passes are set.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Resolves a single pass token (e.g. a `Provenance::passes()` name)
+    /// to its bit; unknown tokens map to the empty mask.
+    #[must_use]
+    pub fn from_token(token: &str) -> PassMask {
+        Self::TOKENS
+            .iter()
+            .find(|(_, name)| *name == token)
+            .map_or(PassMask::NONE, |(bit, _)| *bit)
+    }
+
     /// Parses a pass-subset spec: `all`, `none`, or a comma list of
     /// `moves`, `reassoc`, `scadd`, `placement`/`place`, `cse`.
     ///
@@ -139,5 +161,29 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(PassMask::parse("frobnicate").is_err());
         assert!(PassMask::parse("moves,frob").is_err());
+    }
+
+    #[test]
+    fn minus_removes_only_the_named_passes() {
+        let m = PassMask::ALL.minus(PassMask::REASSOC);
+        assert!(m.contains(PassMask::MOVES));
+        assert!(!m.contains(PassMask::REASSOC));
+        assert_eq!(PassMask::NONE.minus(PassMask::ALL), PassMask::NONE);
+        assert_eq!(PassMask::ALL.minus(PassMask::NONE), PassMask::ALL);
+        assert!(PassMask::MOVES.minus(PassMask::MOVES).is_empty());
+    }
+
+    #[test]
+    fn from_token_resolves_provenance_names() {
+        for (bit, name) in [
+            (PassMask::MOVES, "moves"),
+            (PassMask::REASSOC, "reassoc"),
+            (PassMask::SCADD, "scadd"),
+            (PassMask::PLACEMENT, "placement"),
+            (PassMask::CSE, "cse"),
+        ] {
+            assert_eq!(PassMask::from_token(name), bit);
+        }
+        assert_eq!(PassMask::from_token("nonesuch"), PassMask::NONE);
     }
 }

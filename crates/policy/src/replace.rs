@@ -59,6 +59,12 @@ impl LineLog {
         self.counters.evictions += 1;
         self.counters.evict_age_ticks += tick.saturating_sub(self.inserted[set * self.ways + way]);
     }
+
+    fn move_line(&mut self, set: usize, from: usize, to: usize) {
+        let base = set * self.ways;
+        self.inserted[base + to] = self.inserted[base + from];
+        self.inserted[base + from] = 0;
+    }
 }
 
 /// Facts about a segment being inserted, abstracted away from
@@ -137,6 +143,12 @@ pub trait ReplacePolicy: std::fmt::Debug + Send {
     fn on_insert(&mut self, set: usize, way: usize, tick: u64, attrs: &LineAttrs);
     /// Chooses the way to evict from a full `set` at time `tick`.
     fn victim(&mut self, set: usize, ways_used: usize, tick: u64) -> usize;
+    /// The line in `(set, from)` moved to `(set, to)` and `from` is now
+    /// empty. The cache compacts a set this way when a line is
+    /// *invalidated* (self-repair), preserving the left-to-right occupancy
+    /// invariant; the policy must carry the line's state along and reset
+    /// the vacated slot.
+    fn on_move(&mut self, set: usize, from: usize, to: usize);
     /// Hit / eviction / eviction-age totals accumulated so far.
     fn counters(&self) -> PolicyCounters;
     /// The policy's canonical name (matches [`ReplacementKind::name`]).
@@ -185,6 +197,13 @@ impl ReplacePolicy for Lru {
         }
         self.log.evict(set, victim, tick);
         victim
+    }
+
+    fn on_move(&mut self, set: usize, from: usize, to: usize) {
+        let base = set * self.ways;
+        self.stamp[base + to] = self.stamp[base + from];
+        self.stamp[base + from] = 0;
+        self.log.move_line(set, from, to);
     }
 
     fn counters(&self) -> PolicyCounters {
@@ -243,6 +262,13 @@ impl ReplacePolicy for Srrip {
                 self.rrpv[base + w] += 1;
             }
         }
+    }
+
+    fn on_move(&mut self, set: usize, from: usize, to: usize) {
+        let base = set * self.ways;
+        self.rrpv[base + to] = self.rrpv[base + from];
+        self.rrpv[base + from] = RRPV_DISTANT;
+        self.log.move_line(set, from, to);
     }
 
     fn counters(&self) -> PolicyCounters {
@@ -322,6 +348,15 @@ impl ReplacePolicy for Trrip {
         }
         self.log.evict(set, victim, tick);
         victim
+    }
+
+    fn on_move(&mut self, set: usize, from: usize, to: usize) {
+        let base = set * self.ways;
+        self.temp[base + to] = self.temp[base + from];
+        self.temp[base + from] = 0;
+        self.stamp[base + to] = self.stamp[base + from];
+        self.stamp[base + from] = 0;
+        self.log.move_line(set, from, to);
     }
 
     fn counters(&self) -> PolicyCounters {
@@ -452,5 +487,46 @@ mod tests {
         let c = p.counters();
         assert_eq!(c.evictions, 2);
         assert_eq!(c.evict_age_ticks, 4 + 7);
+    }
+
+    #[test]
+    fn on_move_carries_line_state_for_every_policy() {
+        // Fill a 3-way set, compact way 0 away (way 2 slides into way 0),
+        // then ask for a victim over the two survivors: the moved line
+        // must keep its recency, so the stale line in way 1 goes first.
+        for kind in [
+            ReplacementKind::Lru,
+            ReplacementKind::Srrip,
+            ReplacementKind::Trrip,
+        ] {
+            let mut p = kind.build(1, 3);
+            p.on_insert(0, 0, 1, &A);
+            p.on_insert(0, 1, 2, &A);
+            p.on_insert(0, 2, 3, &A);
+            // Way 2 is the freshest; keep it fresh under SRRIP too.
+            p.on_hit(0, 2, 4);
+            p.on_move(0, 2, 0);
+            assert_eq!(
+                p.victim(0, 2, 5),
+                1,
+                "{}: the moved line must not look stale",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn on_move_carries_insert_tick_for_eviction_age() {
+        let mut p = ReplacementKind::Lru.build(1, 2);
+        p.on_insert(0, 0, 1, &A);
+        p.on_insert(0, 1, 6, &A);
+        p.on_hit(0, 1, 7);
+        p.on_move(0, 1, 0); // way 1 (inserted at 6) slides into way 0
+        assert_eq!(p.victim(0, 1, 10), 0);
+        assert_eq!(
+            p.counters().evict_age_ticks,
+            10 - 6,
+            "age must follow the moved line's insert tick"
+        );
     }
 }

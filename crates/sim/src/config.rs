@@ -56,6 +56,49 @@ impl LatencyConfig {
     }
 }
 
+/// Self-repair: divergence containment and the pass-quarantine ladder.
+///
+/// When enabled, an oracle divergence (or a strict-verify failure at the
+/// fill boundary) no longer aborts the run: the machine squashes in-flight
+/// state, restores architectural state from the interpreter-verified
+/// retirement point, invalidates the offending trace-cache segment, and
+/// resumes through the conventional fetch path. Repeat offenders climb the
+/// escalation ladder (see [`tracefill_core::quarantine`]): after
+/// `quarantine_after` offenses a pass is quarantined for that segment
+/// class, after `disable_after` total offenses it is disabled
+/// machine-wide. Disabled by default; a disabled machine is bit-for-bit
+/// identical to one built before self-repair existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Offenses of one `(pass, class)` pair before class quarantine.
+    pub quarantine_after: u64,
+    /// Total offenses of one pass before machine-wide disable.
+    pub disable_after: u64,
+}
+
+impl Default for RepairConfig {
+    fn default() -> RepairConfig {
+        let q = tracefill_core::QuarantineConfig::default();
+        RepairConfig {
+            enabled: false,
+            quarantine_after: q.quarantine_after,
+            disable_after: q.disable_after,
+        }
+    }
+}
+
+impl RepairConfig {
+    /// The ladder thresholds as a core quarantine configuration.
+    pub fn quarantine(&self) -> tracefill_core::QuarantineConfig {
+        tracefill_core::QuarantineConfig {
+            quarantine_after: self.quarantine_after,
+            disable_after: self.disable_after,
+        }
+    }
+}
+
 /// Full machine configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -111,6 +154,8 @@ pub struct SimConfig {
     /// build/insert/hit/retire/evict attribution. Purely observational —
     /// enabling it never changes timing — and zero-cost when off.
     pub ledger: bool,
+    /// Self-repair on divergence (see [`RepairConfig`]). Off by default.
+    pub self_repair: RepairConfig,
 }
 
 impl Default for SimConfig {
@@ -144,6 +189,7 @@ impl Default for SimConfig {
             fault_plan: None,
             trace_depth: 0,
             ledger: false,
+            self_repair: RepairConfig::default(),
         }
     }
 }

@@ -107,12 +107,16 @@ impl FaultPlan {
     /// Generates `n` faults of the given `kinds` with trigger events drawn
     /// uniformly from `0..horizon`, deterministically from `seed`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `kinds` is empty or `horizon` is 0.
+    /// Degenerate requests — `n == 0`, an empty `horizon`, or no `kinds`
+    /// to draw from — yield an empty, well-formed plan (a clean run)
+    /// rather than panicking.
     pub fn generate(seed: u64, n: usize, horizon: u64, kinds: &[FaultKind]) -> FaultPlan {
-        assert!(!kinds.is_empty(), "no fault kinds to draw from");
-        assert!(horizon > 0, "zero event horizon");
+        if n == 0 || horizon == 0 || kinds.is_empty() {
+            return FaultPlan {
+                seed,
+                faults: Vec::new(),
+            };
+        }
         let mut rng = SplitMix64::new(seed);
         let faults = (0..n)
             .map(|_| FaultSpec {
@@ -429,6 +433,24 @@ mod tests {
             "stall does not corrupt"
         );
         assert!(inj.on_fill(s, 100).is_some()); // event 2: untouched
+    }
+
+    #[test]
+    fn degenerate_plans_are_empty_and_well_formed() {
+        for plan in [
+            FaultPlan::generate(7, 0, 100, &[FaultKind::BitFlipFill]),
+            FaultPlan::generate(7, 4, 0, &[FaultKind::BitFlipFill]),
+            FaultPlan::generate(7, 4, 100, &[]),
+        ] {
+            assert_eq!(plan.seed, 7);
+            assert!(plan.faults.is_empty());
+            // Well-formed: serializes, and an injector built from it is a
+            // clean no-op run.
+            assert!(plan.to_json().dump().contains("\"faults\":[]"));
+            let mut inj = FaultInjector::new(plan);
+            assert!(inj.on_fill(seg(), 10).is_some());
+            assert_eq!(inj.fired(), 0);
+        }
     }
 
     #[test]

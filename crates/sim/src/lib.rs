@@ -72,14 +72,16 @@ pub mod machine;
 pub mod oracle;
 pub mod physreg;
 mod recover;
+pub mod repair;
 mod retire;
 pub mod stats;
 pub mod tracelog;
 pub mod uop;
 
-pub use config::SimConfig;
+pub use config::{RepairConfig, SimConfig};
 pub use cpi::CpiStack;
 pub use inject::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
 pub use machine::{RunExit, SimError, Simulator};
 pub use oracle::{DivergenceReport, RetireEcho, SegSource};
+pub use repair::{RepairEvent, RepairReport};
 pub use stats::{Report, Stats};

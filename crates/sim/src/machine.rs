@@ -243,6 +243,9 @@ pub struct Simulator {
     pub(crate) retire_ring: VecDeque<RetireEcho>,
     /// Deterministic fault injector, when the config carries a plan.
     pub(crate) injector: Option<FaultInjector>,
+    /// Contained failures, in occurrence order (empty unless
+    /// `cfg.self_repair.enabled` and something actually diverged).
+    pub(crate) repairs: Vec<crate::repair::RepairEvent>,
 
     // Observability.
     pub(crate) cpi: CpiStack,
@@ -282,12 +285,16 @@ impl Simulator {
             rat[r.index()] = p;
         }
         let num_fus = cfg.num_fus();
+        let mut fill = FillUnit::new(cfg.fill);
+        if cfg.self_repair.enabled {
+            fill.enable_quarantine(cfg.self_repair.quarantine());
+        }
         Simulator {
             mem: program.load(),
             io: io.clone(),
             oracle: Interp::with_io(program, io),
             tcache: TraceCache::new(cfg.tcache),
-            fill: FillUnit::new(cfg.fill),
+            fill,
             predictor: MultiBranchPredictor::new(cfg.predictor),
             bias: BiasTable::new(cfg.bias),
             ras: ReturnStack::new(cfg.ras_depth),
@@ -316,6 +323,7 @@ impl Simulator {
             trace: TraceLog::new(cfg.trace_depth),
             retire_ring: VecDeque::new(),
             injector: cfg.fault_plan.clone().map(FaultInjector::new),
+            repairs: Vec::new(),
             cpi: CpiStack::new(cfg.fetch_width),
             cpi_flags: CpiFlags::default(),
             last_fetch_tc: false,
@@ -361,6 +369,26 @@ impl Simulator {
     /// [`FaultPlan`](crate::inject::FaultPlan) (0 without a plan).
     pub fn faults_fired(&self) -> u64 {
         self.injector.as_ref().map_or(0, FaultInjector::fired)
+    }
+
+    /// Contained failures so far, in occurrence order (empty unless
+    /// [`SimConfig::self_repair`](crate::config::SimConfig::self_repair)
+    /// is enabled and something actually diverged).
+    pub fn repairs(&self) -> &[crate::repair::RepairEvent] {
+        &self.repairs
+    }
+
+    /// Assembles the run's self-repair report: every contained failure
+    /// plus the escalation ladder's final state. Byte-deterministic for a
+    /// fixed seed and fault plan.
+    pub fn repair_report(&self) -> crate::repair::RepairReport {
+        crate::repair::RepairReport {
+            events: self.repairs.clone(),
+            ladder: self
+                .fill
+                .quarantine()
+                .map_or(tracefill_util::Json::Null, |q| q.to_json()),
+        }
     }
 
     /// The pipeline event trace (empty unless
@@ -420,6 +448,26 @@ impl Simulator {
         metrics.add("policy.evict_age_ticks", pc.evict_age_ticks);
         if self.ledger.enabled() {
             self.ledger.export_metrics(&mut metrics, self.cycle);
+        }
+        // Self-repair availability counters, only once something was
+        // actually contained: a clean self-repair-on run stays
+        // metric-identical (and therefore byte-identical in every export)
+        // to a run without self-repair.
+        if !self.repairs.is_empty() {
+            use tracefill_core::quarantine::Escalation;
+            metrics.add("repair.total", self.repairs.len() as u64);
+            for ev in &self.repairs {
+                metrics.inc(&format!("repair.kind.{}", ev.kind));
+                if ev.invalidated {
+                    metrics.inc("repair.invalidated");
+                }
+                for esc in &ev.escalations {
+                    metrics.inc(match esc {
+                        Escalation::Quarantined { .. } => "repair.quarantined",
+                        Escalation::Disabled { .. } => "repair.disabled",
+                    });
+                }
+            }
         }
         Report {
             stats: self.stats,

@@ -1,8 +1,10 @@
 //! Checkpoint recovery, squash, shadow discard and shadow activation.
 
 use crate::machine::Simulator;
+use crate::physreg::PhysFile;
 use crate::uop::{ShadowResume, UopId, UopState};
 use std::collections::HashSet;
+use tracefill_isa::reg::NUM_ARCH_REGS;
 use tracefill_isa::{ArchReg, Op};
 
 impl Simulator {
@@ -304,6 +306,56 @@ impl Simulator {
             self.serialize = None;
         }
         self.stats.squashed_uops += dead.len() as u64;
+    }
+
+    /// Self-repair full squash: every in-flight uop — active, inactive
+    /// and partially issued — dies, every speculative structure empties,
+    /// and the rename state is rebuilt wholesale from the oracle's
+    /// architectural registers (the oracle has already executed through
+    /// the diverging instruction). Unlike [`squash_younger`], no anchor
+    /// survives; the caller redirects fetch afterwards.
+    ///
+    /// [`squash_younger`]: Self::squash_younger
+    pub(crate) fn repair_squash(&mut self) {
+        if self.ledger.enabled() {
+            for u in self.uops.values() {
+                if let Some(sid) = u
+                    .seg
+                    .as_ref()
+                    .filter(|_| u.from_tc)
+                    .map(|s| s.provenance.seg_id)
+                {
+                    self.ledger.on_squash(sid);
+                }
+            }
+        }
+        self.stats.squashed_uops += self.uops.len() as u64;
+        self.uops.clear();
+        self.window.clear();
+        self.shadows.clear();
+        self.checkpoints.clear();
+        self.lsq.clear();
+        self.completions.clear();
+        for rs in &mut self.rs {
+            rs.clear();
+        }
+        self.pending = None;
+        self.fetch_buffer = None;
+        self.serialize = None;
+        // Fresh physical file and rename table holding the oracle's
+        // architectural values (same shape as machine reset).
+        let mut phys = PhysFile::new(self.cfg.phys_regs, self.cfg.cross_cluster_latency);
+        let mut rat = [PhysFile::ZERO; NUM_ARCH_REGS];
+        for r in ArchReg::all() {
+            if r.is_zero() {
+                continue;
+            }
+            let p = phys.alloc();
+            phys.write_arch(p, self.oracle.reg(r));
+            rat[r.index()] = p;
+        }
+        self.phys = phys;
+        self.rat = rat;
     }
 
     /// Removes one uop and releases its destination mapping. Used for

@@ -1,0 +1,189 @@
+//! Self-repair reporting: what the machine recovered from, and how.
+//!
+//! When [`SimConfig::self_repair`](crate::SimConfig) is enabled, a
+//! lockstep divergence (or a strict segment-verification failure at the
+//! fill boundary) is *contained* instead of fatal: the machine squashes
+//! its in-flight state, restores architectural state from the
+//! interpreter-verified retirement point, invalidates the offending
+//! trace-cache segment and resumes through the conventional fetch path.
+//! Every such containment is recorded as a [`RepairEvent`]; the run's
+//! [`RepairReport`] mirrors the structure of
+//! [`DivergenceReport`](crate::oracle::DivergenceReport) — same site
+//! fields, same provenance attribution — plus the escalation-ladder
+//! transitions the offense triggered and the ladder's final state.
+
+use crate::oracle::SegSource;
+use std::fmt;
+use tracefill_core::quarantine::Escalation;
+use tracefill_util::Json;
+
+/// One contained failure: the divergence site, the offending segment, and
+/// the repair actions taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairEvent {
+    /// Cycle of the repair.
+    pub cycle: u64,
+    /// Retire sequence number of the diverging instruction.
+    pub seq: u64,
+    /// PC at the divergence site.
+    pub pc: u32,
+    /// What diverged (same vocabulary as
+    /// [`DivergenceReport::kind`](crate::oracle::DivergenceReport)).
+    pub kind: &'static str,
+    /// The oracle's expectation.
+    pub expected: String,
+    /// What the pipeline produced.
+    pub actual: String,
+    /// Provenance of the offending trace segment, when there was one.
+    pub provenance: Option<SegSource>,
+    /// Whether the offending segment was found (and removed) in the trace
+    /// cache. False when it had already been evicted, or when the
+    /// divergence had no trace-cache provenance.
+    pub invalidated: bool,
+    /// Ladder transitions this offense triggered, in pass order.
+    pub escalations: Vec<Escalation>,
+}
+
+impl RepairEvent {
+    /// Serializes the event (deterministic field order).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut v = Json::object()
+            .with("cycle", self.cycle)
+            .with("seq", self.seq)
+            .with("pc", u64::from(self.pc))
+            .with("kind", self.kind)
+            .with("expected", self.expected.as_str())
+            .with("actual", self.actual.as_str());
+        if let Some(p) = &self.provenance {
+            v = v.with(
+                "segment",
+                Json::object()
+                    .with("seg_id", p.seg_id)
+                    .with("start_pc", u64::from(p.start_pc))
+                    .with("len", p.len)
+                    .with(
+                        "passes",
+                        Json::Arr(p.passes.iter().map(|s| Json::from(*s)).collect()),
+                    )
+                    .with(
+                        "fault",
+                        p.fault.as_deref().map(Json::from).unwrap_or(Json::Null),
+                    ),
+            );
+        }
+        v.with("invalidated", self.invalidated).with(
+            "escalations",
+            Json::Arr(self.escalations.iter().map(Escalation::to_json).collect()),
+        )
+    }
+}
+
+impl fmt::Display for RepairEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "repaired {} at cycle {}, seq {}, pc {:#010x}",
+            self.kind, self.cycle, self.seq, self.pc
+        )?;
+        if let Some(p) = &self.provenance {
+            write!(f, " [{p}]")?;
+        }
+        for e in &self.escalations {
+            match e {
+                Escalation::Quarantined { pass, class } => {
+                    write!(f, " quarantine({pass}/{class})")?;
+                }
+                Escalation::Disabled { pass } => write!(f, " disable({pass})")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The run's full self-repair record: every contained failure plus the
+/// escalation ladder's final state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairReport {
+    /// Contained failures, in occurrence order.
+    pub events: Vec<RepairEvent>,
+    /// The ladder's final state (see
+    /// [`Quarantine::to_json`](tracefill_core::Quarantine::to_json));
+    /// `Json::Null` when self-repair was never armed.
+    pub ladder: Json,
+}
+
+impl RepairReport {
+    /// Total contained failures.
+    #[must_use]
+    pub fn repairs(&self) -> u64 {
+        self.events.len() as u64
+    }
+
+    /// Serializes the report. Byte-deterministic for a fixed seed and
+    /// fault plan: every field is derived from deterministic machine
+    /// state, and map-backed sections iterate in key order.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("repairs", self.repairs())
+            .with(
+                "events",
+                Json::Arr(self.events.iter().map(RepairEvent::to_json).collect()),
+            )
+            .with("ladder", self.ladder.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RepairEvent {
+        RepairEvent {
+            cycle: 321,
+            seq: 54,
+            pc: 0x40_0020,
+            kind: "register-effect",
+            expected: "$t0 = 0x5".to_string(),
+            actual: "$t0 = 0x6".to_string(),
+            provenance: Some(SegSource {
+                seg_id: 9,
+                start_pc: 0x40_0000,
+                len: 4,
+                passes: vec!["scadd"],
+                fault: None,
+            }),
+            invalidated: true,
+            escalations: vec![Escalation::Quarantined {
+                pass: "scadd",
+                class: "loop",
+            }],
+        }
+    }
+
+    #[test]
+    fn event_json_names_actions() {
+        let text = sample().to_json().dump();
+        assert!(text.contains("\"invalidated\":true"), "{text}");
+        assert!(text.contains("\"action\":\"quarantine\""), "{text}");
+        assert!(text.contains("\"seg_id\":9"), "{text}");
+    }
+
+    #[test]
+    fn report_json_is_deterministic() {
+        let r = RepairReport {
+            events: vec![sample()],
+            ladder: Json::Null,
+        };
+        assert_eq!(r.to_json().dump(), r.to_json().dump());
+        assert!(r.to_json().dump().contains("\"repairs\":1"));
+    }
+
+    #[test]
+    fn display_reads_like_a_log_line() {
+        let text = sample().to_string();
+        assert!(text.contains("repaired register-effect"), "{text}");
+        assert!(text.contains("quarantine(scadd/loop)"), "{text}");
+    }
+}

@@ -3,7 +3,9 @@
 
 use crate::machine::{SimError, Simulator};
 use crate::oracle::{DivergenceReport, RetireEcho, SegSource};
+use crate::repair::RepairEvent;
 use tracefill_core::builder::FillInput;
+use tracefill_isa::interp::Retired;
 use tracefill_isa::syscall;
 use tracefill_isa::ArchReg;
 use tracefill_isa::Op;
@@ -31,17 +33,17 @@ impl Simulator {
         self.retire_ring.push_back(echo);
     }
 
-    /// Builds a structured divergence error for the retiring uop,
+    /// Builds a structured divergence report for the retiring uop,
     /// attributing it to the originating trace segment when there is one.
-    fn divergence(
+    fn divergence_report(
         &self,
         id: u64,
         kind: &'static str,
         expected: String,
         actual: String,
-    ) -> SimError {
+    ) -> Box<DivergenceReport> {
         let u = &self.uops[&id];
-        SimError::Divergence(Box::new(DivergenceReport {
+        Box::new(DivergenceReport {
             cycle: self.cycle,
             seq: self.stats.retired,
             pc: u.pc,
@@ -50,7 +52,19 @@ impl Simulator {
             actual,
             recent: self.retire_ring.iter().cloned().collect(),
             provenance: u.seg.as_deref().map(SegSource::of),
-        }))
+        })
+    }
+
+    /// As [`divergence_report`](Self::divergence_report), wrapped as the
+    /// fatal error.
+    fn divergence(
+        &self,
+        id: u64,
+        kind: &'static str,
+        expected: String,
+        actual: String,
+    ) -> SimError {
+        SimError::Divergence(self.divergence_report(id, kind, expected, actual))
     }
     /// Retire phase: up to `fetch_width` completed head-of-window uops.
     pub(crate) fn phase_retire(&mut self) -> Result<(), SimError> {
@@ -119,6 +133,30 @@ impl Simulator {
         // divergence in its own right: an optimization pass broke the
         // segment, even if the (dropped) segment never misled fetch.
         if let Some(vf) = self.fill.take_verify_failure() {
+            if self.cfg.self_repair.enabled {
+                // The rejected segment never reached the cache, so the
+                // ladder charge *is* the repair: no squash, no restore —
+                // architectural state was never at risk.
+                let escalations = self.fill.record_offense(&vf.passes, vf.end);
+                self.repairs.push(RepairEvent {
+                    cycle: self.cycle,
+                    seq: self.stats.retired,
+                    pc: vf.start_pc,
+                    kind: "segment-verify",
+                    expected: "optimized segment equivalent to its original".to_string(),
+                    actual: vf.detail,
+                    provenance: Some(SegSource {
+                        seg_id: vf.seg_id,
+                        start_pc: vf.start_pc,
+                        len: vf.len,
+                        passes: vf.passes,
+                        fault: vf.fault,
+                    }),
+                    invalidated: false,
+                    escalations,
+                });
+                return Ok(());
+            }
             return Err(SimError::Divergence(Box::new(DivergenceReport {
                 cycle: self.cycle,
                 seq: self.stats.retired,
@@ -142,9 +180,17 @@ impl Simulator {
     /// Retires one ordinary uop.
     fn retire_one(&mut self, id: u64) -> Result<(), SimError> {
         self.echo_retire(id);
-        // Oracle lockstep first: any divergence is a simulator bug.
+        // Oracle lockstep first: any divergence is a simulator bug or an
+        // injected fault — fatal, unless self-repair contains it.
         if self.cfg.oracle_check {
-            self.check_against_oracle(id)?;
+            let (r, div) = self.check_against_oracle(id)?;
+            if let Some(report) = div {
+                if self.cfg.self_repair.enabled {
+                    self.contain_divergence(id, *report, &r);
+                    return Ok(());
+                }
+                return Err(SimError::Divergence(report));
+            }
         } else {
             // Still step the oracle to keep lockstep for later checks.
             self.oracle.step().map_err(SimError::Oracle)?;
@@ -297,28 +343,37 @@ impl Simulator {
             self.halted = Some(tracefill_isa::interp::Halt::Break);
         }
 
-        // Oracle lockstep.
+        // Oracle lockstep. The syscall already executed against the
+        // pipeline's I/O above; on divergence, containment re-adopts the
+        // oracle's I/O and halt state wholesale.
         if self.cfg.oracle_check {
             let r = self.oracle.step().map_err(SimError::Oracle)?;
+            let mut div: Option<Box<DivergenceReport>> = None;
             if r.pc != pc || r.instr != instr {
-                return Err(self.divergence(
+                div = Some(self.divergence_report(
                     id,
                     "stream",
                     format!("{:#010x} `{}`", r.pc, r.instr),
                     format!("{pc:#010x} `{instr}`"),
                 ));
-            }
-            if let Some((reg, val)) = r.reg_write {
+            } else if let Some((reg, val)) = r.reg_write {
                 let p = self.rat[reg.index()];
                 let got = self.phys.value(p);
                 if got != val {
-                    return Err(self.divergence(
+                    div = Some(self.divergence_report(
                         id,
                         "syscall",
                         format!("{reg} = {val:#x}"),
                         format!("{reg} = {got:#x}"),
                     ));
                 }
+            }
+            if let Some(report) = div {
+                if self.cfg.self_repair.enabled {
+                    self.contain_divergence(id, *report, &r);
+                    return Ok(());
+                }
+                return Err(SimError::Divergence(report));
             }
         } else {
             self.oracle.step().map_err(SimError::Oracle)?;
@@ -365,26 +420,37 @@ impl Simulator {
 
     /// Compares the retiring uop's architectural effects against the
     /// functional oracle.
-    fn check_against_oracle(&mut self, id: u64) -> Result<(), SimError> {
+    ///
+    /// Steps the oracle through the instruction and returns its retirement
+    /// record plus the first mismatch, if any, as a structured report —
+    /// the caller decides whether the divergence is fatal or contained by
+    /// self-repair. An oracle fault (bad program) is always fatal.
+    #[allow(clippy::type_complexity)]
+    fn check_against_oracle(
+        &mut self,
+        id: u64,
+    ) -> Result<(Retired, Option<Box<DivergenceReport>>), SimError> {
         let r = self.oracle.step().map_err(SimError::Oracle)?;
         let u = &self.uops[&id];
         if r.pc != u.pc || r.instr != u.instr {
-            return Err(self.divergence(
+            let report = self.divergence_report(
                 id,
                 "stream",
                 format!("{:#010x} `{}`", r.pc, r.instr),
                 format!("{:#010x} `{}`", u.pc, u.instr),
-            ));
+            );
+            return Ok((r, Some(report)));
         }
         // Register write.
         let sim_write = u.dest.map(|(reg, p)| (reg, self.phys.value(p)));
         if sim_write != r.reg_write {
-            return Err(self.divergence(
+            let report = self.divergence_report(
                 id,
                 "register-effect",
                 fmt_write(r.reg_write),
                 fmt_write(sim_write),
-            ));
+            );
+            return Ok((r, Some(report)));
         }
         // Store effect.
         let sim_store = u
@@ -393,28 +459,30 @@ impl Simulator {
             .filter(|m| !m.is_load)
             .map(|m| (m.addr.unwrap_or(0), m.size, m.value));
         if sim_store != r.store {
-            return Err(self.divergence(
+            let report = self.divergence_report(
                 id,
                 "store-effect",
                 fmt_store(r.store),
                 fmt_store(sim_store),
-            ));
+            );
+            return Ok((r, Some(report)));
         }
         // Branch direction.
         let sim_taken = u.branch.as_ref().and_then(|b| b.actual_taken);
         if u.op.is_cond_branch() && sim_taken != r.taken {
-            return Err(self.divergence(
+            let report = self.divergence_report(
                 id,
                 "branch-direction",
                 format!("{:?}", r.taken),
                 format!("{sim_taken:?}"),
-            ));
+            );
+            return Ok((r, Some(report)));
         }
         // Control flow of indirect jumps.
         if u.op.is_indirect() {
             let sim_next = u.branch.as_ref().and_then(|b| b.actual_next);
             if sim_next != Some(r.next_pc) {
-                return Err(self.divergence(
+                let report = self.divergence_report(
                     id,
                     "indirect-target",
                     format!("next pc {:#010x}", r.next_pc),
@@ -422,10 +490,84 @@ impl Simulator {
                         Some(n) => format!("next pc {n:#010x}"),
                         None => "unresolved".to_string(),
                     },
-                ));
+                );
+                return Ok((r, Some(report)));
             }
         }
-        Ok(())
+        Ok((r, None))
+    }
+
+    /// Contains a lockstep divergence under self-repair.
+    ///
+    /// The oracle has already executed the diverging instruction; nothing
+    /// of it was committed by the pipeline. Containment charges the
+    /// offense to the offending segment's passes, invalidates that
+    /// segment in the trace cache, squashes the entire machine, adopts
+    /// the oracle's architectural state (registers, the instruction's
+    /// store, I/O and halt), and resumes through the conventional fetch
+    /// path. The retire sequence strictly advances, so repair always
+    /// makes forward progress.
+    fn contain_divergence(&mut self, id: u64, report: DivergenceReport, r: &Retired) {
+        // Attribute and invalidate before the squash forgets the uop.
+        let seg = self.uops.get(&id).and_then(|u| u.seg.clone());
+        let (passes, class) = match seg.as_deref() {
+            Some(s) => (s.provenance.passes(), s.end.name()),
+            None => (Vec::new(), "unknown"),
+        };
+        let invalidated = match seg.as_deref() {
+            Some(s) => {
+                let removed = self.tcache.invalidate(s.start_pc, s.provenance.seg_id);
+                if removed.is_some() {
+                    self.ledger.on_invalidate(s.provenance.seg_id, self.cycle);
+                }
+                removed.is_some()
+            }
+            None => false,
+        };
+        let escalations = self.fill.record_offense(&passes, class);
+
+        // Containment proper.
+        self.cpi_flags.recovered = true;
+        self.repair_squash();
+        if let Some((addr, size, value)) = r.store {
+            self.mem.write_sized(addr, size, value);
+        }
+        self.io = self.oracle.io().clone();
+        self.halted = self.oracle.halted();
+
+        // The diverging instruction retires with the oracle's effects.
+        self.stats.retired += 1;
+        self.cpi_flags.retired += 1;
+        self.last_retire_cycle = self.cycle;
+
+        // The fill unit's partial segment straddles the divergence; drop
+        // it and resume building on the far side.
+        self.fill.flush_partial();
+
+        // Resume down the conventional path at the oracle's next PC.
+        self.fetch_pc = r.next_pc;
+        self.fetch_stall_until = 0;
+        self.last_fetch_tc = false;
+        if self.trace.enabled() {
+            self.trace.push(
+                self.cycle,
+                crate::tracelog::Event::Repair {
+                    pc: report.pc,
+                    redirect: r.next_pc,
+                },
+            );
+        }
+        self.repairs.push(RepairEvent {
+            cycle: report.cycle,
+            seq: report.seq,
+            pc: report.pc,
+            kind: report.kind,
+            expected: report.expected,
+            actual: report.actual,
+            provenance: report.provenance,
+            invalidated,
+            escalations,
+        });
     }
 }
 

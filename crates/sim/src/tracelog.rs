@@ -73,6 +73,14 @@ pub enum Event {
         /// Uops promoted into the window.
         count: u32,
     },
+    /// Self-repair contained a divergence: full squash, architectural
+    /// restore from the oracle, and a redirect down the conventional path.
+    Repair {
+        /// PC at the divergence site.
+        pc: u32,
+        /// New fetch address (the oracle's next PC).
+        redirect: u32,
+    },
 }
 
 impl Event {
@@ -86,6 +94,7 @@ impl Event {
             Event::Retire { .. } => "retire",
             Event::Recover { .. } => "recover",
             Event::Activate { .. } => "activate",
+            Event::Repair { .. } => "repair",
         }
     }
 
@@ -117,6 +126,9 @@ impl Event {
             Event::Activate { anchor, count } => {
                 Json::object().with("anchor", anchor).with("count", count)
             }
+            Event::Repair { pc, redirect } => {
+                Json::object().with("pc", pc).with("redirect", redirect)
+            }
         }
     }
 }
@@ -147,6 +159,9 @@ impl fmt::Display for Event {
             }
             Event::Activate { anchor, count } => {
                 write!(f, "activate shadow @u{anchor} ({count} uops)")
+            }
+            Event::Repair { pc, redirect } => {
+                write!(f, "repair  pc={pc:#010x} -> {redirect:#010x}")
             }
         }
     }
@@ -247,7 +262,10 @@ impl TraceLog {
         let mut events = Vec::new();
         for (cycle, e) in self.events() {
             let tid: u64 = match e {
-                Event::Fetch { .. } | Event::Recover { .. } | Event::Activate { .. } => 0,
+                Event::Fetch { .. }
+                | Event::Recover { .. }
+                | Event::Activate { .. }
+                | Event::Repair { .. } => 0,
                 Event::Issue { uop, .. }
                 | Event::Execute { uop, .. }
                 | Event::Complete { uop }
@@ -261,6 +279,7 @@ impl TraceLog {
                 Event::Retire { uop, .. } => format!("retire u{uop}"),
                 Event::Recover { anchor, .. } => format!("recover @u{anchor}"),
                 Event::Activate { anchor, .. } => format!("activate @u{anchor}"),
+                Event::Repair { pc, .. } => format!("repair {pc:#010x}"),
             };
             let mut obj = Json::object()
                 .with("name", name)

@@ -62,6 +62,7 @@ skip:   addi $s0, $s0, -1
             Event::Retire { .. } => retires += 1,
             Event::Recover { .. } => recovers += 1,
             Event::Activate { .. } => activates += 1,
+            Event::Repair { .. } => panic!("clean run must not repair"),
         }
     }
     assert!(fetches > 100);

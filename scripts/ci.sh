@@ -71,6 +71,30 @@ cmp "$SMOKE_DIR/inject1.json" "$SMOKE_DIR/inject2.json"
 # With all checkers armed (the default), nothing slips through silently.
 grep -q '"silent": 0' "$SMOKE_DIR/inject1.json"
 
+echo "==> self-repair determinism (same seed + plan => byte-identical repair JSON)"
+cargo run --release -q -p tracefill-bench --bin tracefill -- \
+    inject --self-repair --detect oracle --seed 1 --trials 10 --json \
+    > "$SMOKE_DIR/heal-inject1.json"
+cargo run --release -q -p tracefill-bench --bin tracefill -- \
+    inject --self-repair --detect oracle --seed 1 --trials 10 --json \
+    > "$SMOKE_DIR/heal-inject2.json"
+cmp "$SMOKE_DIR/heal-inject1.json" "$SMOKE_DIR/heal-inject2.json"
+grep -q '"self_repair": true' "$SMOKE_DIR/heal-inject1.json"
+# The availability sweep's exit code is its acceptance bar: any armed run
+# that still dies fails the build.
+cargo run --release -q -p tracefill-bench --bin tracefill -- \
+    heal --seed 1 --trials 10 --json > "$SMOKE_DIR/heal.json"
+grep -q '"fatal": 0' "$SMOKE_DIR/heal.json"
+
+echo "==> self-repair-off identity (an armed, healthy machine changes nothing)"
+cargo run --release -q -p tracefill-bench --bin tracefill -- \
+    run "$SMOKE_DIR/smoke.s" --stats-json "$SMOKE_DIR/norepair.stats.json" > /dev/null
+cargo run --release -q -p tracefill-bench --bin tracefill -- \
+    run "$SMOKE_DIR/smoke.s" --self-repair --stats-json "$SMOKE_DIR/repair.stats.json" > /dev/null
+# A clean armed run emits no repair.* metrics, so the two reports must be
+# byte-identical — a stronger bar than the ledger's member-wise identity.
+cmp "$SMOKE_DIR/norepair.stats.json" "$SMOKE_DIR/repair.stats.json"
+
 echo "==> adaptive-policy smoke (same seed => byte-identical adapt report)"
 cargo run --release -q -p tracefill-bench --bin tracefill -- \
     adapt --bench m88k,comp --opts none:all --mode ucb:100 --seed 1 \

@@ -110,6 +110,83 @@ fn malformed_numeric_flags_are_usage_errors() {
 }
 
 #[test]
+fn zero_sized_axes_are_rejected_with_exit_1() {
+    // `adapt --epoch 0` used to be silently clamped to 1; it is now a
+    // hard, explained error — as are empty campaign axes and a
+    // zero-cycle run cap.
+    let out = bin().args(["adapt", "--epoch", "0"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("--epoch"), "{}", stderr(&out));
+
+    let out = bin().args(["adapt", "--bench", ","]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("no benchmarks"), "{}", stderr(&out));
+
+    let out = bin().args(["adapt", "--opts", ":"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("no optimization"), "{}", stderr(&out));
+
+    let out = bin().args(["adapt", "--budget", "0"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("--budget"), "{}", stderr(&out));
+
+    let dir = scratch("axes");
+    let prog = smoke_program(&dir);
+    let out = bin()
+        .args(["run", prog.to_str().unwrap(), "--max-cycles", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("--max-cycles"), "{}", stderr(&out));
+}
+
+#[test]
+fn heal_sweep_has_zero_fatal_divergences_and_is_byte_deterministic() {
+    let args = [
+        "heal", "--trials", "3", "--budget", "6000", "--seed", "7", "--json",
+    ];
+    let a = bin().args(args).output().unwrap();
+    // Exit 0 IS the acceptance assertion: heal exits 1 on any fatal run.
+    assert!(a.status.success(), "stderr: {}", stderr(&a));
+    let b = bin().args(args).output().unwrap();
+    assert_eq!(a.stdout, b.stdout, "same seed must emit identical bytes");
+    let text = String::from_utf8(a.stdout).unwrap();
+    assert!(text.contains("\"recovered\""), "{text}");
+    assert!(text.contains("\"fatal\": 0"), "{text}");
+    assert!(text.contains("\"ladder\""), "{text}");
+}
+
+#[test]
+fn inject_gains_recovered_and_fatal_columns_under_self_repair() {
+    let out = bin()
+        .args([
+            "inject",
+            "--self-repair",
+            "--detect",
+            "oracle",
+            "--trials",
+            "3",
+            "--budget",
+            "6000",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("self-repair=on"), "{text}");
+    assert!(text.contains("recovered"), "{text}");
+    assert!(text.contains("fatal"), "{text}");
+
+    // Self-repair without any oracle is a contradiction, not a run.
+    let out = bin()
+        .args(["inject", "--self-repair", "--detect", "none"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("oracle"), "{}", stderr(&out));
+}
+
+#[test]
 fn ledger_json_is_byte_deterministic() {
     let args = [
         "ledger", "--bench", "m88k", "--seed", "1", "--warmup", "1000", "--budget", "8000",
